@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table/figure benchmark reads from one lazily-built
+:class:`repro.analysis.session.ReproSession`; heavy artifacts (world,
+ground truth, detector, the 2,400-node sweep) are built once per pytest
+run, outside the benchmark timers.  Each benchmark times its own
+analysis/regeneration step and writes the rendered table to
+``results/``.
+
+Scale defaults to ``small`` (tens of seconds end-to-end); set
+``REPRO_SCALE=medium`` for the paper-shaped run (a few minutes) or
+``REPRO_SCALE=tiny`` for a smoke pass.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.session import get_session
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def session():
+    """The shared reproduction session at the configured scale."""
+    return get_session(bench_scale())
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory the rendered tables/figures are written to."""
+    path = Path(__file__).resolve().parent.parent / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+def save_result(results_dir: Path, name: str, text: str) -> None:
+    """Write one rendered artifact and echo it to stdout."""
+    (results_dir / name).write_text(text + "\n")
+    print(f"\n{text}\n[saved to results/{name}]")

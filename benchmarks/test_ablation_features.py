@@ -1,0 +1,64 @@
+"""Ablation — contribution of the four feature groups (Section IV-A).
+
+Train the same classifier on column subsets of the 58-feature matrix:
+content-only, profile-only, behavior-only, and the full vector.
+Expected shape: each group alone carries signal, and the full vector
+is at least as accurate as any single group.
+"""
+
+import numpy as np
+from conftest import save_result
+
+from repro.analysis.tables import render_table
+from repro.features.schema import FEATURE_GROUPS
+from repro.ml import RandomForestClassifier, cross_validate
+
+
+def test_ablation_feature_groups(benchmark, session, results_dir):
+    X, y = session.training_matrix
+    n_splits = 5
+
+    subsets = {
+        "sender profile only": [FEATURE_GROUPS["sender_profile"]],
+        "content only": [FEATURE_GROUPS["content"]],
+        "behavior only": [FEATURE_GROUPS["behavior"]],
+        "all 58 features": [
+            (0, 58),
+        ],
+    }
+
+    def run_all():
+        results = {}
+        for name, spans in subsets.items():
+            columns = np.concatenate(
+                [np.arange(start, end) for start, end in spans]
+            )
+            result = cross_validate(
+                lambda: RandomForestClassifier(
+                    n_estimators=25, max_depth=40, seed=0
+                ),
+                X[:, columns],
+                y,
+                n_splits=n_splits,
+                seed=0,
+            )
+            results[name] = result.mean
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        (name, report.accuracy, report.precision, report.recall)
+        for name, report in results.items()
+    ]
+    table = render_table(
+        ["Feature set", "Accuracy", "Precision", "Recall"],
+        rows,
+        title="Ablation — feature-group contribution (RF, 5-fold CV)",
+    )
+    save_result(results_dir, "ablation_features.txt", table)
+
+    full = results["all 58 features"]
+    assert full.accuracy >= 0.85
+    for name, report in results.items():
+        assert full.accuracy >= report.accuracy - 0.03, name

@@ -1,0 +1,42 @@
+"""Figure 2 — fraction of spammers vs number of spam messages.
+
+Paper: ~90% of captured spammers post only one spam message; fewer
+than 0.03% post more than ten.  Shape to reproduce: a monotone-ish
+heavy-tailed decay with the bulk of spammers at the smallest counts
+(the exact 90% depends on the platform/monitor size ratio, which a
+laptop-scale world compresses — see EXPERIMENTS.md).
+"""
+
+from conftest import save_result
+
+from repro.analysis.tables import render_table
+from repro.core.pge import spam_count_distribution
+
+
+def test_fig2_spam_count_distribution(benchmark, session, results_dir):
+    outcome = session.main_outcome
+
+    distribution = benchmark.pedantic(
+        lambda: spam_count_distribution(outcome), rounds=1, iterations=1
+    )
+    assert distribution, "detector found no spam"
+
+    rows = [
+        (count, fraction)
+        for count, fraction in sorted(distribution.items())[:15]
+    ]
+    table = render_table(
+        ["# spam messages", "Fraction of spammers"],
+        rows,
+        title="Figure 2 (reproduction) — spam-count distribution",
+    )
+    save_result(results_dir, "fig2_spam_distribution.txt", table)
+
+    fractions = dict(distribution)
+    low_mass = sum(f for c, f in fractions.items() if c <= 2)
+    high_mass = sum(f for c, f in fractions.items() if c > 10)
+    # Bulk of spammers at 1-2 spams; tail above 10 spams is small.
+    assert low_mass > 0.5
+    assert high_mass < 0.2
+    # The single-spam bin is the mode.
+    assert fractions.get(1, 0) == max(fractions.values())

@@ -1,0 +1,77 @@
+"""Figure 6 — advanced pseudo-honeypot vs non pseudo-honeypot.
+
+Paper: over 100 hours, 100 advanced pseudo-honeypot nodes garner
+17,336 spammers vs 1,850 for 100 random accounts — 9.37x.  Both
+systems here observe the *same* simulated hours.  Shape to
+reproduce: the advanced system's cumulative spammer curve dominates
+the random system's at every hour, with a final multiple well above 1.
+"""
+
+from collections import defaultdict
+
+from conftest import save_result
+
+from repro.analysis.tables import render_table
+
+
+def _cumulative_spammers(outcome):
+    by_hour: dict[int, set] = defaultdict(set)
+    for capture, spam in zip(outcome.captures, outcome.is_spam):
+        if spam:
+            by_hour[capture.hour].add(capture.sender_id)
+    hours = sorted(by_hour)
+    seen: set = set()
+    series = []
+    for hour in hours:
+        seen |= by_hour[hour]
+        series.append((hour, len(seen)))
+    return series
+
+
+def test_fig6_advanced_vs_random(benchmark, session, results_dir):
+    outcomes = session.comparison_outcomes
+
+    series = benchmark.pedantic(
+        lambda: {
+            name: _cumulative_spammers(outcome)
+            for name, outcome in outcomes.items()
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    advanced = dict(series["advanced"])
+    random_series = dict(series["random"])
+    hours = sorted(set(advanced) | set(random_series))
+
+    def value_at(mapping, hour):
+        best = 0
+        for h in sorted(mapping):
+            if h <= hour:
+                best = mapping[h]
+        return best
+
+    rows = [
+        (hour, value_at(advanced, hour), value_at(random_series, hour))
+        for hour in hours
+    ]
+    final_advanced = rows[-1][1] if rows else 0
+    final_random = rows[-1][2] if rows else 0
+    ratio = final_advanced / max(final_random, 1)
+    table = render_table(
+        ["Hour", "Advanced pseudo-honeypot", "Non pseudo-honeypot"],
+        rows,
+        title=(
+            "Figure 6 (reproduction) — cumulative spammers captured; "
+            f"final ratio = {ratio:.2f}x"
+        ),
+    )
+    save_result(results_dir, "fig6_advanced_vs_random.txt", table)
+
+    assert final_advanced > final_random, "advanced must win"
+    assert ratio > 1.5
+    # Dominance through (most of) the run, not just at the end.
+    dominated = sum(
+        1 for __, adv, rnd in rows if adv >= rnd
+    )
+    assert dominated >= 0.8 * len(rows)

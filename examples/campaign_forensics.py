@@ -1,0 +1,120 @@
+"""Campaign forensics: how the clustering-based labeler unmasks campaigns.
+
+The ground-truth pipeline (Section IV-B) groups accounts by shared
+registration artifacts.  This example runs each clustering signal
+separately over a captured stream and shows what it finds, checked
+against the simulator's hidden campaign structure:
+
+* profile-image dHash groups (shared, lightly-edited artwork);
+* screen-name Σ-sequence groups (automatic registration patterns);
+* description MinHash groups (near-duplicate bios);
+* near-duplicate tweet groups (templated blasts);
+* which of the 11 rule-based policies fire on campaign tweets.
+
+Run:  python examples/campaign_forensics.py
+"""
+
+from collections import Counter
+
+from repro.analysis.tables import render_table
+from repro.labeling.dhash import dhash, group_by_dhash
+from repro.labeling.minhash import MinHasher, group_by_signature
+from repro.labeling.neardup import group_near_duplicates
+from repro.labeling.rules import StreamContext, matching_rules
+from repro.labeling.screenname import group_by_pattern
+from repro.twittersim import SimulationConfig, TwitterEngine, build_population
+from repro.twittersim.images import DEFAULT_IMAGE_ID
+
+
+def campaign_purity(population, groups):
+    """How well groups align with true campaigns: (n_groups, purity)."""
+    pure = 0
+    for group in groups:
+        campaigns = {
+            population.truth.account_campaign.get(uid) for uid in group
+        }
+        if len(campaigns) == 1 and None not in campaigns:
+            pure += 1
+    return len(groups), pure
+
+
+def main() -> None:
+    print("Simulating 10 hours of platform activity...")
+    population = build_population(SimulationConfig.small(seed=7))
+    engine = TwitterEngine(population)
+    firehose = []
+    engine.subscribe(firehose.append)
+    engine.run_hours(10)
+    print(f"  firehose: {len(firehose)} tweets")
+
+    authors = {t.user.user_id: t.user for t in firehose}
+    author_ids = list(authors)
+
+    # --- Profile-image dHash -------------------------------------------
+    with_images = [
+        uid
+        for uid in author_ids
+        if authors[uid].profile_image_id != DEFAULT_IMAGE_ID
+    ]
+    hashes = [
+        dhash(population.images.get(authors[uid].profile_image_id))
+        for uid in with_images
+    ]
+    image_groups = [
+        [with_images[i] for i in group] for group in group_by_dhash(hashes)
+    ]
+    n, pure = campaign_purity(population, image_groups)
+    print(f"\ndHash avatar groups: {n} groups, {pure} match one campaign")
+
+    # --- Screen-name patterns ------------------------------------------
+    names = [authors[uid].screen_name for uid in author_ids]
+    name_groups = [
+        [author_ids[i] for i in group] for group in group_by_pattern(names)
+    ]
+    n, pure = campaign_purity(population, name_groups)
+    print(f"Σ-sequence name groups: {n} groups, {pure} match one campaign")
+
+    # --- Description MinHash -------------------------------------------
+    hasher = MinHasher(seed=7)
+    bios = [authors[uid].description for uid in author_ids]
+    bio_groups = [
+        [author_ids[i] for i in group]
+        for group in group_by_signature(bios, hasher)
+    ]
+    n, pure = campaign_purity(population, bio_groups)
+    print(f"MinHash bio groups: {n} groups, {pure} match one campaign")
+
+    # --- Near-duplicate tweets ------------------------------------------
+    tweet_groups = group_near_duplicates(firehose, hasher)
+    spam_groups = sum(
+        all(
+            population.truth.is_spam_tweet(firehose[i].tweet_id)
+            for i in group
+        )
+        for group in tweet_groups
+    )
+    print(
+        f"Near-duplicate tweet groups: {len(tweet_groups)} groups, "
+        f"{spam_groups} pure spam"
+    )
+
+    # --- Rule firings ----------------------------------------------------
+    ctx = StreamContext()
+    fired = Counter()
+    for tweet in sorted(firehose, key=lambda t: t.created_at):
+        if population.truth.is_spam_tweet(tweet.tweet_id):
+            for rule in matching_rules(tweet, ctx):
+                fired[rule] += 1
+        ctx.observe(tweet)
+    print(
+        "\n"
+        + render_table(
+            ["Rule", "Firings on true spam"],
+            sorted(fired.items(), key=lambda kv: -kv[1]),
+            title="Rule-based policies (Section IV-B)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Spammer drift and detector re-training (paper §IV-C / future work).
+
+Spammers adapt: campaigns rotate content, slow their reaction times to
+human-like latencies, and move off automation clients.  A detector
+trained on pre-drift ground truth degrades; re-labeling fresh captures
+and re-training recovers it — the paper's proposed counter-strategy of
+"keeping track of the spammers' tastes in real time".
+
+This example measures detector recall against simulator ground truth
+in three phases: before drift, after drift (stale detector), and after
+re-training on post-drift labels.
+
+Run:  python examples/detector_drift.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.core import PseudoHoneypotExperiment, SelectionPlan
+from repro.twittersim import SimulationConfig
+from repro.twittersim.campaigns import SpammerTasteModel
+from repro.twittersim.drift import apply_spammer_drift, drifted_taste_weights
+
+
+def recall_against_truth(experiment, detector, run):
+    """Detector recall/precision on true spam in a capture set."""
+    truth = experiment.population.truth
+    outcome = detector.classify(run.captures)
+    actual = np.array(
+        [truth.is_spam_tweet(c.tweet.tweet_id) for c in outcome.captures]
+    )
+    predicted = outcome.is_spam.astype(bool)
+    true_pos = int((actual & predicted).sum())
+    recall = true_pos / max(int(actual.sum()), 1)
+    precision = true_pos / max(int(predicted.sum()), 1)
+    return recall, precision, int(actual.sum())
+
+
+def main() -> None:
+    print("Phase 0: world + pre-drift detector...")
+    experiment = PseudoHoneypotExperiment(
+        SimulationConfig.small(seed=17), candidate_pool=500
+    )
+    experiment.warm_up(6)
+    collection = experiment.collect_ground_truth(
+        hours=10, n_targets=8, per_value=6
+    )
+    dataset = experiment.label_ground_truth(collection)
+    detector = experiment.train_detector(collection, dataset)
+
+    plan = SelectionPlan.full_paper_plan(per_value=2)
+
+    print("Phase 1: monitoring before drift...")
+    before = experiment.run_plan(plan, hours=6, seed_offset=3)
+    rows = [("before drift", *recall_against_truth(experiment, detector, before))]
+
+    print("Phase 2: spammer drift event + stale detector...")
+    apply_spammer_drift(experiment.population)
+    experiment.engine.taste = SpammerTasteModel(drifted_taste_weights())
+    after = experiment.run_plan(plan, hours=6, seed_offset=5)
+    rows.append(
+        ("after drift (stale)", *recall_against_truth(experiment, detector, after))
+    )
+
+    print("Phase 3: re-label fresh captures and re-train...")
+    fresh_dataset = experiment.label_ground_truth(after)
+    retrained = experiment.train_detector(after, fresh_dataset)
+    post = experiment.run_plan(plan, hours=6, seed_offset=7)
+    rows.append(
+        ("re-trained", *recall_against_truth(experiment, retrained, post))
+    )
+
+    print(
+        "\n"
+        + render_table(
+            ["Phase", "Recall", "Precision", "True spams in window"],
+            rows,
+            title="Detector performance across a spammer-drift event",
+        )
+    )
+    before, stale, recovered = rows[0][1], rows[1][1], rows[2][1]
+    if stale < before - 0.05:
+        print(
+            f"\nDrift cost {100 * (before - stale):.0f} recall points; "
+            f"re-training recovered to {100 * recovered:.0f}%."
+        )
+    else:
+        print(
+            "\nThe stale detector held up through this drift event "
+            f"({100 * stale:.0f}% recall): account-profile features "
+            "(young accounts, zero lists, skewed ratios) survive content "
+            "drift — one reason the paper's 58-feature design is robust. "
+            f"Re-training still lifts recall to {100 * recovered:.0f}%."
+        )
+
+
+if __name__ == "__main__":
+    main()

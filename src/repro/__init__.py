@@ -1,0 +1,17 @@
+"""Reproduction of *Pseudo-honeypot: Toward Efficient and Scalable Spam
+Sniffer* (Zhang, Zhang, Yuan, Tzeng -- DSN 2019).
+
+Packages:
+
+* :mod:`repro.twittersim` -- synthetic Twitter platform substrate;
+* :mod:`repro.ml` -- from-scratch classifiers (DT/kNN/SVM/EGB/RF);
+* :mod:`repro.features` -- the paper's 58 tweet features;
+* :mod:`repro.labeling` -- the four-stage ground-truth pipeline;
+* :mod:`repro.core` -- the pseudo-honeypot system itself;
+* :mod:`repro.baselines` -- honeypot and random-monitor comparators;
+* :mod:`repro.analysis` -- table/figure regeneration helpers.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

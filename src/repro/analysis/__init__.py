@@ -1,0 +1,12 @@
+"""Result aggregation, shared sessions, and table rendering."""
+
+from .session import ReproSession, SessionScale, get_session
+from .tables import format_cell, render_table
+
+__all__ = [
+    "ReproSession",
+    "SessionScale",
+    "format_cell",
+    "get_session",
+    "render_table",
+]

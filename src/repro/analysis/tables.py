@@ -1,0 +1,52 @@
+"""ASCII table rendering for benchmark and example output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_cell(value: object) -> str:
+    """Human formatting: floats get 4 significant decimals, rest str()."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Raises:
+        ValueError: if a row's width differs from the header's.
+    """
+    formatted_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        formatted_rows.append([format_cell(cell) for cell in row])
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    divider = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(divider)
+    for row in formatted_rows:
+        lines.append(
+            " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Comparators: traditional honeypots, random monitoring, literature."""
+
+from .honeypot import (
+    HoneypotProfile,
+    TraditionalHoneypot,
+    spammers_captured,
+)
+from .published import (
+    HOURS_PER_MONTH,
+    PAPER_ADVANCED_ROW,
+    PUBLISHED_HONEYPOTS,
+    PublishedHoneypot,
+    best_published_pge,
+)
+from .random_monitor import RandomAccountSelector
+
+__all__ = [
+    "HOURS_PER_MONTH",
+    "HoneypotProfile",
+    "PAPER_ADVANCED_ROW",
+    "PUBLISHED_HONEYPOTS",
+    "PublishedHoneypot",
+    "RandomAccountSelector",
+    "TraditionalHoneypot",
+    "best_published_pge",
+    "spammers_captured",
+]

@@ -1,0 +1,79 @@
+"""Non pseudo-honeypot baseline (Section V-E, Figure 6).
+
+The paper's control: monitor randomly selected accounts with the same
+switching cadence and network size as the advanced pseudo-honeypot,
+but with no attribute screening.  Implemented as a drop-in selector so
+it reuses the exact network/monitoring machinery — the only difference
+between the two systems is *how nodes are chosen*, which is precisely
+the paper's comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.attributes import AttributeCategory
+from ..core.portability import ActivityPolicy
+from ..core.selection import HoneypotNode, SelectionPlan
+from ..twittersim.api.rest import RestClient
+
+
+class RandomAccountSelector:
+    """Selects ``n_nodes`` random live accounts each round.
+
+    Duck-types :class:`repro.core.selection.AttributeSelector` (the
+    network only calls ``select(plan, now)``); the plan's node budget
+    is honored, its attribute content ignored.
+
+    Args:
+        rest: REST client.
+        n_nodes: accounts per round.
+        activity: optional Active filter — the paper's random group is
+            drawn from accounts that exist and act, so the default
+            applies the same activity bar as the pseudo-honeypot.
+        seed: sampling seed.
+    """
+
+    def __init__(
+        self,
+        rest: RestClient,
+        n_nodes: int,
+        activity: ActivityPolicy | None = None,
+        seed: int = 0,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        self.rest = rest
+        self.n_nodes = n_nodes
+        self.activity = activity
+        self._rng = np.random.default_rng(seed)
+        self.last_report = None
+
+    def select(
+        self, plan: SelectionPlan | None, now: float
+    ) -> list[HoneypotNode]:
+        """Pick the round's random accounts (plan content ignored)."""
+        candidates = self.rest.sample_user_ids(self.n_nodes * 6)
+        self._rng.shuffle(candidates)
+        nodes: list[HoneypotNode] = []
+        for uid in candidates:
+            if len(nodes) >= self.n_nodes:
+                break
+            if self.activity is not None and not self.activity.is_active(
+                self.rest, uid, now
+            ):
+                continue
+            try:
+                profile = self.rest.get_user(uid)
+            except Exception:  # suspended or vanished between calls
+                continue
+            nodes.append(
+                HoneypotNode(
+                    user_id=profile.user_id,
+                    screen_name=profile.screen_name,
+                    attribute_key="random",
+                    sample_label="random",
+                    category=AttributeCategory.PROFILE,
+                )
+            )
+        return nodes

@@ -1,0 +1,81 @@
+"""The paper's contribution: the pseudo-honeypot system."""
+
+from .attributes import (
+    ALL_ATTRIBUTE_KEYS,
+    HASHTAG_ATTRIBUTE_KEYS,
+    PROFILE_ATTRIBUTE_BY_KEY,
+    PROFILE_ATTRIBUTES,
+    TRENDING_ATTRIBUTE_KEYS,
+    AttributeCategory,
+    AttributeSpec,
+    category_of_key,
+    hashtag_category_of_key,
+)
+from .detector import (
+    ClassificationOutcome,
+    PseudoHoneypotDetector,
+    default_classifier,
+)
+from .experiment import NetworkRun, PseudoHoneypotExperiment
+from .monitor import CaptureCategory, CapturedTweet, PseudoHoneypotMonitor
+from .network import ExposureLedger, PseudoHoneypotNetwork
+from .pge import (
+    AttributeStats,
+    PgeEntry,
+    advanced_plan_from_pge,
+    aggregate,
+    overall_pge,
+    parse_sample_label,
+    pge_by_attribute,
+    pge_by_sample,
+    pge_ranking,
+    spam_count_distribution,
+)
+from .portability import ActivityPolicy
+from .selection import (
+    AttributeSelector,
+    CategoryTarget,
+    HoneypotNode,
+    ProfileTarget,
+    SelectionPlan,
+    SelectionReport,
+)
+
+__all__ = [
+    "ALL_ATTRIBUTE_KEYS",
+    "ActivityPolicy",
+    "AttributeCategory",
+    "AttributeSelector",
+    "AttributeSpec",
+    "AttributeStats",
+    "CaptureCategory",
+    "CapturedTweet",
+    "CategoryTarget",
+    "ClassificationOutcome",
+    "ExposureLedger",
+    "HASHTAG_ATTRIBUTE_KEYS",
+    "HoneypotNode",
+    "NetworkRun",
+    "PROFILE_ATTRIBUTES",
+    "PROFILE_ATTRIBUTE_BY_KEY",
+    "PgeEntry",
+    "ProfileTarget",
+    "PseudoHoneypotDetector",
+    "PseudoHoneypotExperiment",
+    "PseudoHoneypotMonitor",
+    "PseudoHoneypotNetwork",
+    "SelectionPlan",
+    "SelectionReport",
+    "TRENDING_ATTRIBUTE_KEYS",
+    "advanced_plan_from_pge",
+    "aggregate",
+    "category_of_key",
+    "default_classifier",
+    "hashtag_category_of_key",
+    "overall_pge",
+    "parse_sample_label",
+    "pge_by_attribute",
+    "pge_by_sample",
+    "pge_ranking",
+    "spam_count_distribution",
+]

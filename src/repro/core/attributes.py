@@ -1,0 +1,174 @@
+"""Selection attributes of the pseudo-honeypot (Tables I and II).
+
+Three categories:
+
+* **C1 profile-based** — 11 attributes, each sampled at the 10 values
+  of Table II, 10 accounts per value (1,100 nodes);
+* **C2 hashtag-based** — 8 topical classes plus *no hashtag*
+  (900 nodes);
+* **C3 trending-based** — trending-up / trending-down / popular /
+  no-trending (400 nodes);
+
+for the paper's 2,400-node network.  ``AttributeSpec.value_of`` turns a
+profile snapshot into the attribute's numeric value, so selection and
+result aggregation share one definition.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from ..twittersim.entities import UserProfile
+from ..twittersim.hashtags import HashtagCategory
+
+
+class AttributeCategory(enum.Enum):
+    """Table I's three attribute categories."""
+
+    PROFILE = "profile"
+    HASHTAG = "hashtag"
+    TRENDING = "trending"
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One profile-based selection attribute with its sample values."""
+
+    key: str
+    description: str
+    sample_values: tuple[float, ...]
+    value_of: Callable[[UserProfile, float], float]
+
+    def sample_label(self, value: float) -> str:
+        """Stable label of one sampling bin, e.g. ``friends_count=1000``."""
+        text = f"{value:g}"
+        return f"{self.key}={text}"
+
+
+def _ratio(profile: UserProfile, now: float) -> float:
+    return profile.friend_follower_ratio()
+
+
+#: Table II, in row order.
+PROFILE_ATTRIBUTES: tuple[AttributeSpec, ...] = (
+    AttributeSpec(
+        "friends_count",
+        "friends count",
+        (10, 50, 100, 200, 300, 500, 1_000, 3_000, 5_000, 10_000),
+        lambda p, now: float(p.friends_count),
+    ),
+    AttributeSpec(
+        "followers_count",
+        "follower count",
+        (10, 50, 100, 200, 300, 500, 1_000, 3_000, 5_000, 10_000),
+        lambda p, now: float(p.followers_count),
+    ),
+    AttributeSpec(
+        "total_friends_followers",
+        "total friends and followers",
+        (20, 100, 200, 500, 1_000, 2_000, 3_000, 5_000, 10_000, 30_000),
+        lambda p, now: float(p.friends_count + p.followers_count),
+    ),
+    AttributeSpec(
+        "friend_follower_ratio",
+        "ratio of friends and followers",
+        (1 / 10, 1 / 8, 1 / 4, 1 / 2, 1, 2, 4, 6, 8, 10),
+        _ratio,
+    ),
+    AttributeSpec(
+        "account_age_days",
+        "account age (days)",
+        (10, 50, 100, 300, 500, 1_000, 1_500, 2_000, 2_500, 3_000),
+        lambda p, now: p.age_days(now),
+    ),
+    AttributeSpec(
+        "lists_count",
+        "lists count",
+        (10, 20, 30, 40, 50, 70, 100, 200, 300, 500),
+        lambda p, now: float(p.listed_count),
+    ),
+    AttributeSpec(
+        "favorites_count",
+        "favorites count",
+        (10, 50, 100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 200_000),
+        lambda p, now: float(p.favourites_count),
+    ),
+    AttributeSpec(
+        "status_count",
+        "status count",
+        (10, 50, 100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 200_000),
+        lambda p, now: float(p.statuses_count),
+    ),
+    AttributeSpec(
+        "avg_lists_per_day",
+        "average of lists per day",
+        (1 / 100, 1 / 50, 1 / 20, 1 / 10, 1 / 8, 1 / 6, 1 / 4, 1 / 2, 1, 2),
+        lambda p, now: p.avg_lists_per_day(now),
+    ),
+    AttributeSpec(
+        "avg_favorites_per_day",
+        "average of favorites per day",
+        (1 / 50, 1 / 10, 1 / 5, 1 / 2, 1, 2, 3, 5, 10, 50),
+        lambda p, now: p.avg_favourites_per_day(now),
+    ),
+    AttributeSpec(
+        "avg_statuses_per_day",
+        "average of statuses per day",
+        (1 / 50, 1 / 10, 1 / 5, 1 / 2, 1, 2, 3, 4, 10, 50),
+        lambda p, now: p.avg_statuses_per_day(now),
+    ),
+)
+
+PROFILE_ATTRIBUTE_BY_KEY: dict[str, AttributeSpec] = {
+    spec.key: spec for spec in PROFILE_ATTRIBUTES
+}
+
+#: Hashtag attribute keys: the 8 classes of Table I plus no-hashtag.
+HASHTAG_ATTRIBUTE_KEYS: tuple[str, ...] = tuple(
+    f"hashtag_{category.value}" for category in HashtagCategory
+) + ("no_hashtag",)
+
+#: Trending attribute keys of Table I.
+TRENDING_ATTRIBUTE_KEYS: tuple[str, ...] = (
+    "trending_up",
+    "trending_down",
+    "popular_tweets",
+    "no_trending",
+)
+
+#: Every attribute key the full 2,400-node network selects on.
+ALL_ATTRIBUTE_KEYS: tuple[str, ...] = (
+    tuple(spec.key for spec in PROFILE_ATTRIBUTES)
+    + HASHTAG_ATTRIBUTE_KEYS
+    + TRENDING_ATTRIBUTE_KEYS
+)
+
+
+def category_of_key(key: str) -> AttributeCategory:
+    """Category of an attribute key.
+
+    Raises:
+        KeyError: unknown key.
+    """
+    if key in PROFILE_ATTRIBUTE_BY_KEY:
+        return AttributeCategory.PROFILE
+    if key in HASHTAG_ATTRIBUTE_KEYS:
+        return AttributeCategory.HASHTAG
+    if key in TRENDING_ATTRIBUTE_KEYS:
+        return AttributeCategory.TRENDING
+    raise KeyError(f"unknown attribute key {key!r}")
+
+
+def hashtag_category_of_key(key: str) -> HashtagCategory | None:
+    """HashtagCategory for a ``hashtag_*`` key, None for ``no_hashtag``.
+
+    Raises:
+        KeyError: if the key is not a hashtag attribute.
+    """
+    if key == "no_hashtag":
+        return None
+    if key in HASHTAG_ATTRIBUTE_KEYS:
+        return HashtagCategory(key.removeprefix("hashtag_"))
+    raise KeyError(f"{key!r} is not a hashtag attribute")

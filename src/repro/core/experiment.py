@@ -1,0 +1,218 @@
+"""End-to-end experiment orchestration (Section V).
+
+``PseudoHoneypotExperiment`` owns one synthetic world and walks the
+paper's phases on its clock:
+
+1. ``collect_ground_truth`` — a small random-attribute network gathers
+   the training capture (paper: 100 nodes, 300 hours);
+2. ``label_ground_truth`` — the four-stage labeling pipeline (Table III);
+3. ``train_detector`` — fit the deployed classifier on the labels;
+4. ``run_full_network`` — the 2,400-node attribute sweep (Tables V/VI,
+   Figures 2-5);
+5. ``classify`` — run the detector over any capture set;
+6. ``run_plan`` — deploy an arbitrary plan (advanced system, baselines)
+   for the Figure 6 / Table VII comparisons.
+
+Every run is reproducible from the experiment seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..labeling.manual import ManualChecker
+from ..labeling.pipeline import GroundTruthLabeler, LabeledDataset
+from ..ml.base import Classifier
+from ..twittersim.api.rest import RestClient
+from ..twittersim.config import SimulationConfig
+from ..twittersim.engine import TwitterEngine
+from ..twittersim.population import build_population
+from .detector import ClassificationOutcome, PseudoHoneypotDetector
+from .monitor import CapturedTweet
+from .network import ExposureLedger, PseudoHoneypotNetwork
+from .portability import ActivityPolicy
+from .selection import AttributeSelector, SelectionPlan
+
+
+@dataclass
+class NetworkRun:
+    """Captures plus exposure accounting of one deployed network."""
+
+    captures: list[CapturedTweet]
+    exposure: ExposureLedger
+    n_nodes_requested: int
+    hours: int
+
+    @property
+    def n_captures(self) -> int:
+        return len(self.captures)
+
+
+class PseudoHoneypotExperiment:
+    """One synthetic world and the paper's experimental phases on it.
+
+    Args:
+        config: world configuration (population, rates, seeds).
+        manual_error_rate: human-oracle flip probability for labeling.
+        candidate_pool: selector candidate sample per hour.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig | None = None,
+        manual_error_rate: float = 0.02,
+        candidate_pool: int = 6_000,
+    ) -> None:
+        self.config = config or SimulationConfig.medium()
+        self.population = build_population(self.config)
+        self.engine = TwitterEngine(self.population)
+        self.rest = RestClient(self.engine)
+        # A 6-hour Active window: users post in multi-hour bursts, so a
+        # recent post predicts the account is still in session — the
+        # portability property's whole point (Section III-D).
+        self.activity = ActivityPolicy(window_hours=6.0)
+        self.candidate_pool = candidate_pool
+        self.manual_error_rate = manual_error_rate
+
+    # ------------------------------------------------------------------
+
+    def make_selector(self, seed_offset: int = 0) -> AttributeSelector:
+        """A fresh selector bound to this world."""
+        return AttributeSelector(
+            self.rest,
+            candidate_pool=self.candidate_pool,
+            activity=self.activity,
+            seed=self.config.seed + seed_offset,
+        )
+
+    def warm_up(self, hours: int = 4) -> None:
+        """Run unmonitored hours so trending and timelines populate."""
+        self.engine.run_hours(hours)
+
+    def run_plan(
+        self,
+        plan: SelectionPlan,
+        hours: int,
+        switch_every_hours: int = 1,
+        seed_offset: int = 0,
+    ) -> NetworkRun:
+        """Deploy a plan for ``hours`` monitored hours and collect."""
+        network = PseudoHoneypotNetwork(
+            self.engine,
+            self.make_selector(seed_offset),
+            plan,
+            switch_every_hours=switch_every_hours,
+        )
+        network.deploy()
+        network.run_hours(hours)
+        network.shutdown()
+        return NetworkRun(
+            captures=network.monitor.captured,
+            exposure=network.exposure,
+            n_nodes_requested=plan.total_requested,
+            hours=hours,
+        )
+
+    # -- paper phases ----------------------------------------------------
+
+    def collect_ground_truth(
+        self, hours: int, n_targets: int = 10, per_value: int = 10
+    ) -> NetworkRun:
+        """Phase 1: the random-attribute collection network (§V-C).
+
+        Paper configuration: 100 nodes (10 random attributes x 10
+        accounts), 300 hours.
+        """
+        plan = SelectionPlan.random_plan(
+            n_targets, per_value, seed=self.config.seed + 17
+        )
+        return self.run_plan(plan, hours, seed_offset=17)
+
+    def label_ground_truth(
+        self, run: NetworkRun, unlabeled_audit_rate: float = 0.1
+    ) -> LabeledDataset:
+        """Phase 2: four-stage labeling of a collection run (Table III)."""
+        checker = ManualChecker(
+            self.population.truth,
+            error_rate=self.manual_error_rate,
+            seed=self.config.seed,
+        )
+        labeler = GroundTruthLabeler(
+            self.rest,
+            checker,
+            unlabeled_audit_rate=unlabeled_audit_rate,
+            minhash_seed=self.config.seed,
+        )
+        return labeler.label([capture.tweet for capture in run.captures])
+
+    def train_detector(
+        self,
+        run: NetworkRun,
+        dataset: LabeledDataset,
+        classifier: Classifier | None = None,
+    ) -> PseudoHoneypotDetector:
+        """Phase 3: fit the detector on the labeled ground truth."""
+        detector = PseudoHoneypotDetector(classifier=classifier)
+        return detector.fit_from_ground_truth(run.captures, dataset)
+
+    def run_full_network(
+        self, hours: int, per_value: int = 10
+    ) -> NetworkRun:
+        """Phase 4: the Table-I/II attribute sweep (2,400 nodes at
+        ``per_value=10``)."""
+        return self.run_plan(
+            SelectionPlan.full_paper_plan(per_value), hours, seed_offset=29
+        )
+
+    def classify(
+        self, detector: PseudoHoneypotDetector, run: NetworkRun
+    ) -> ClassificationOutcome:
+        """Phase 5: detector verdicts over a network run's captures."""
+        return detector.classify(run.captures)
+
+    def run_plans_concurrently(
+        self,
+        plans: dict[str, SelectionPlan],
+        hours: int,
+        switch_every_hours: int = 1,
+    ) -> dict[str, NetworkRun]:
+        """Deploy several plans over the *same* platform hours.
+
+        All networks observe identical traffic, making head-to-head
+        comparisons (advanced pseudo-honeypot vs. non pseudo-honeypot,
+        Figure 6) free of run-to-run variance in the world itself.
+        """
+        networks = {}
+        for offset, (name, plan) in enumerate(plans.items()):
+            network = PseudoHoneypotNetwork(
+                self.engine,
+                self.make_selector(seed_offset=41 + offset),
+                plan,
+                switch_every_hours=switch_every_hours,
+            )
+            network.deploy()
+            networks[name] = network
+        return self.run_networks(networks, hours)
+
+    def run_networks(
+        self,
+        networks: dict[str, "PseudoHoneypotNetwork"],
+        hours: int,
+    ) -> dict[str, NetworkRun]:
+        """Drive already-deployed networks through shared hours."""
+        for __ in range(hours):
+            for network in networks.values():
+                network.prepare_hour()
+            self.engine.run_hour()
+            for network in networks.values():
+                network.finish_hour()
+        runs = {}
+        for name, network in networks.items():
+            network.shutdown()
+            runs[name] = NetworkRun(
+                captures=network.monitor.captured,
+                exposure=network.exposure,
+                n_nodes_requested=network.plan.total_requested,
+                hours=hours,
+            )
+        return runs

@@ -1,0 +1,104 @@
+"""Pseudo-honeypot monitoring (Section III-E).
+
+The monitor is the stream listener behind the network's filtered
+stream.  For every matched tweet it records which honeypot nodes were
+crossed and under which selection attributes, and assigns the paper's
+capture category:
+
+* **OWN_POST** (category 1) — the parasitic account's own activity;
+* **MENTION** (categories 2/3) — another account mentioning a node;
+  whether it is a benign mention (2) or spam (3) is exactly what the
+  detector decides later.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..twittersim.entities import Tweet
+from .selection import HoneypotNode
+
+
+class CaptureCategory(enum.Enum):
+    """Capture categories of Section III-E."""
+
+    OWN_POST = "own_post"
+    MENTION = "mention"
+
+
+@dataclass(frozen=True, slots=True)
+class CapturedTweet:
+    """One monitored tweet with its capture context."""
+
+    tweet: Tweet
+    hour: int
+    capture_category: CaptureCategory
+    #: Attribute keys of every honeypot node this tweet crossed.
+    attribute_keys: tuple[str, ...]
+    #: Sampling-bin labels of those nodes (Table VI granularity).
+    sample_labels: tuple[str, ...]
+    #: User ids of the crossed nodes.
+    node_user_ids: tuple[int, ...]
+
+    @property
+    def sender_id(self) -> int:
+        """Author of the captured tweet."""
+        return self.tweet.user.user_id
+
+
+class PseudoHoneypotMonitor:
+    """Stream listener that tags matches with their capture context."""
+
+    def __init__(self) -> None:
+        self._nodes_by_name: dict[str, HoneypotNode] = {}
+        self._hour = 0
+        self.captured: list[CapturedTweet] = []
+
+    @property
+    def node_ids(self) -> set[int]:
+        """User ids of the currently deployed nodes."""
+        return {node.user_id for node in self._nodes_by_name.values()}
+
+    def set_nodes(self, nodes: list[HoneypotNode], hour: int) -> None:
+        """Install the hour's node set (called at each switch)."""
+        self._nodes_by_name = {node.screen_name: node for node in nodes}
+        self._hour = hour
+
+    def on_tweet(self, tweet: Tweet) -> None:
+        """Record a matched tweet with its crossing nodes."""
+        crossed: list[HoneypotNode] = []
+        author_node = self._nodes_by_name.get(tweet.user.screen_name)
+        if author_node is not None:
+            crossed.append(author_node)
+        for mention in tweet.mentions:
+            node = self._nodes_by_name.get(mention.screen_name)
+            if node is not None and node is not author_node:
+                crossed.append(node)
+        if not crossed:
+            return
+        category = (
+            CaptureCategory.OWN_POST
+            if author_node is not None
+            else CaptureCategory.MENTION
+        )
+        self.captured.append(
+            CapturedTweet(
+                tweet=tweet,
+                hour=self._hour,
+                capture_category=category,
+                attribute_keys=tuple(
+                    dict.fromkeys(n.attribute_key for n in crossed)
+                ),
+                sample_labels=tuple(
+                    dict.fromkeys(n.sample_label for n in crossed)
+                ),
+                node_user_ids=tuple(n.user_id for n in crossed),
+            )
+        )
+
+    def drain(self) -> list[CapturedTweet]:
+        """Return and clear the capture buffer."""
+        captured = self.captured
+        self.captured = []
+        return captured

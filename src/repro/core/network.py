@@ -1,0 +1,151 @@
+"""The pseudo-honeypot network: selection + streaming + hourly switching.
+
+``PseudoHoneypotNetwork`` owns the hour loop of Section V-A: every hour
+it re-selects the parasitic bodies per its plan (portability), updates
+the streaming filter in place, lets the platform run, and accumulates
+captures.  Node-hour exposure per attribute is tracked because PGE
+normalizes by it (G_i * T_i).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..twittersim.api.streaming import FilteredStream, StreamingClient
+from ..twittersim.engine import TwitterEngine
+from .monitor import CapturedTweet, PseudoHoneypotMonitor
+from .selection import AttributeSelector, HoneypotNode, SelectionPlan
+
+
+@dataclass
+class ExposureLedger:
+    """Node-hours deployed per attribute key and per sample label."""
+
+    by_attribute: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    by_sample: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    hours: int = 0
+
+    def record_hour(self, nodes: list[HoneypotNode]) -> None:
+        """Account one deployed hour of the given node set."""
+        self.hours += 1
+        for node in nodes:
+            self.by_attribute[node.attribute_key] += 1
+            self.by_sample[node.sample_label] += 1
+
+
+class PseudoHoneypotNetwork:
+    """Deploys and operates a pseudo-honeypot network on the platform.
+
+    Args:
+        engine: the platform to monitor.
+        selector: attribute-based account screener.
+        plan: the selection shopping list (e.g.
+            ``SelectionPlan.full_paper_plan()`` for the 2,400-node
+            network).
+        switch_every_hours: portability period (paper: 1 hour).
+    """
+
+    def __init__(
+        self,
+        engine: TwitterEngine,
+        selector: AttributeSelector,
+        plan: SelectionPlan,
+        switch_every_hours: int = 1,
+    ) -> None:
+        if switch_every_hours < 1:
+            raise ValueError("switch_every_hours must be >= 1")
+        self.engine = engine
+        self.selector = selector
+        self.plan = plan
+        self.switch_every_hours = switch_every_hours
+        self.monitor = PseudoHoneypotMonitor()
+        self.exposure = ExposureLedger()
+        self.current_nodes: list[HoneypotNode] = []
+        self._stream: FilteredStream | None = None
+        self._hours_since_switch = 0
+
+    @property
+    def deployed(self) -> bool:
+        """Whether the streaming filter is currently open."""
+        return self._stream is not None and self._stream.connected
+
+    def deploy(self) -> list[HoneypotNode]:
+        """Initial selection + stream connection; returns the node set.
+
+        Raises:
+            RuntimeError: if already deployed.
+        """
+        if self.deployed:
+            raise RuntimeError("network is already deployed")
+        self.current_nodes = self.selector.select(
+            self.plan, self.engine.clock.now
+        )
+        self.monitor.set_nodes(self.current_nodes, self.engine.clock.hour)
+        client = StreamingClient(self.engine)
+        self._stream = client.filter(
+            [node.track_term for node in self.current_nodes],
+            listener=self.monitor,
+        )
+        return self.current_nodes
+
+    def prepare_hour(self) -> None:
+        """Pre-hour bookkeeping: portability switch + exposure record.
+
+        Split from :meth:`run_hour` so several networks can monitor the
+        *same* platform hour (e.g. the Figure 6 advanced-vs-random
+        comparison observes identical traffic): call ``prepare_hour``
+        on every network, drive ``engine.run_hour()`` once, then call
+        ``finish_hour`` on every network.
+
+        Raises:
+            RuntimeError: if the network was never deployed.
+        """
+        if not self.deployed:
+            raise RuntimeError("deploy() the network before running")
+        if self._hours_since_switch >= self.switch_every_hours:
+            self._switch_nodes()
+        self.exposure.record_hour(self.current_nodes)
+
+    def finish_hour(self) -> None:
+        """Post-hour bookkeeping counterpart of :meth:`prepare_hour`."""
+        self._hours_since_switch += 1
+
+    def run_hour(self) -> None:
+        """Advance the platform one hour under monitoring.
+
+        Handles the portability switch: after ``switch_every_hours``
+        monitored hours the node set is re-selected and the filter is
+        updated in place (no reconnection).
+        """
+        self.prepare_hour()
+        self.engine.run_hour()
+        self.finish_hour()
+
+    def run_hours(self, hours: int) -> None:
+        """Run ``hours`` consecutive monitored hours."""
+        for __ in range(hours):
+            self.run_hour()
+
+    def shutdown(self) -> None:
+        """Disconnect the stream (idempotent)."""
+        if self._stream is not None:
+            self._stream.disconnect()
+
+    @property
+    def captured(self) -> list[CapturedTweet]:
+        """All captures so far (not drained)."""
+        return self.monitor.captured
+
+    def _switch_nodes(self) -> None:
+        self.current_nodes = self.selector.select(
+            self.plan, self.engine.clock.now
+        )
+        self.monitor.set_nodes(self.current_nodes, self.engine.clock.hour)
+        assert self._stream is not None
+        self._stream.update_filter(
+            [node.track_term for node in self.current_nodes]
+        )
+        self._hours_since_switch = 0

@@ -1,0 +1,192 @@
+"""Pseudo-honeypot Garner Efficiency (Section V-E).
+
+``PGE_i = N_i / (G_i · T_i)`` — spammers garnered per pseudo-honeypot
+node per hour under attribute i.  The exposure ledger supplies the
+node-hours denominator G_i·T_i directly.  The module also refines the
+top-k sampling attributes into the *advanced* pseudo-honeypot plan
+(Table VI → the 100-node system of Figure 6 / Table VII).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .attributes import PROFILE_ATTRIBUTE_BY_KEY, category_of_key
+from .detector import ClassificationOutcome
+from .network import ExposureLedger
+from .selection import CategoryTarget, ProfileTarget, SelectionPlan
+
+
+@dataclass
+class AttributeStats:
+    """Capture statistics under one attribute (or sampling bin)."""
+
+    label: str
+    tweets: int = 0
+    spams: int = 0
+    spammer_ids: set[int] = field(default_factory=set)
+    user_ids: set[int] = field(default_factory=set)
+
+    @property
+    def spammers(self) -> int:
+        return len(self.spammer_ids)
+
+    @property
+    def users(self) -> int:
+        return len(self.user_ids)
+
+    def spam_ratio(self) -> float:
+        """Spams over captured tweets (Figure 5's solid line)."""
+        return self.spams / self.tweets if self.tweets else 0.0
+
+    def spammer_ratio(self) -> float:
+        """Spammers over involved users (Figure 4's solid line)."""
+        return self.spammers / self.users if self.user_ids else 0.0
+
+
+def aggregate(
+    outcome: ClassificationOutcome, by_sample: bool = False
+) -> dict[str, AttributeStats]:
+    """Group a classification outcome by attribute key or sample label.
+
+    A capture that crossed nodes of several attributes counts under
+    each (the paper's per-attribute figures do the same: one tweet can
+    satisfy multiple criteria).
+    """
+    stats: dict[str, AttributeStats] = {}
+    for capture, spam in zip(outcome.captures, outcome.is_spam):
+        labels = capture.sample_labels if by_sample else capture.attribute_keys
+        for label in labels:
+            entry = stats.get(label)
+            if entry is None:
+                entry = stats[label] = AttributeStats(label)
+            entry.tweets += 1
+            entry.user_ids.add(capture.sender_id)
+            if spam:
+                entry.spams += 1
+                entry.spammer_ids.add(capture.sender_id)
+    return stats
+
+
+@dataclass(frozen=True)
+class PgeEntry:
+    """One Table-VI row: a sampling attribute and its PGE."""
+
+    label: str
+    spammers: int
+    node_hours: int
+    pge: float
+
+
+def pge_ranking(
+    stats: dict[str, AttributeStats],
+    exposure: dict[str, int],
+) -> list[PgeEntry]:
+    """Rank attributes by PGE = spammers / node-hours, descending.
+
+    Attributes with zero recorded exposure are skipped (no nodes were
+    ever deployed under them, so PGE is undefined).
+    """
+    entries = []
+    for label, stat in stats.items():
+        node_hours = exposure.get(label, 0)
+        if node_hours <= 0:
+            continue
+        entries.append(
+            PgeEntry(
+                label=label,
+                spammers=stat.spammers,
+                node_hours=node_hours,
+                pge=stat.spammers / node_hours,
+            )
+        )
+    entries.sort(key=lambda e: (-e.pge, e.label))
+    return entries
+
+
+def pge_by_sample(
+    outcome: ClassificationOutcome, exposure: ExposureLedger
+) -> list[PgeEntry]:
+    """Table VI: PGE ranking at sampling-bin granularity."""
+    return pge_ranking(aggregate(outcome, by_sample=True), exposure.by_sample)
+
+
+def pge_by_attribute(
+    outcome: ClassificationOutcome, exposure: ExposureLedger
+) -> list[PgeEntry]:
+    """PGE ranking at whole-attribute granularity."""
+    return pge_ranking(
+        aggregate(outcome, by_sample=False), exposure.by_attribute
+    )
+
+
+def overall_pge(n_spammers: int, n_nodes: int, hours: int) -> float:
+    """System-level PGE (Table VII rows).
+
+    Raises:
+        ValueError: on non-positive nodes or hours.
+    """
+    if n_nodes <= 0 or hours <= 0:
+        raise ValueError("nodes and hours must be positive")
+    return n_spammers / (n_nodes * hours)
+
+
+def parse_sample_label(label: str) -> tuple[str, float | None]:
+    """Split a sample label into (attribute_key, value-or-None)."""
+    if "=" in label:
+        key, __, raw = label.partition("=")
+        return key, float(raw)
+    return label, None
+
+
+def advanced_plan_from_pge(
+    entries: list[PgeEntry], top_k: int = 10, per_value: int = 10
+) -> SelectionPlan:
+    """Build the advanced pseudo-honeypot plan from a PGE ranking.
+
+    Takes the ``top_k`` sampling attributes and requests ``per_value``
+    accounts for each — the paper's 100-node advanced system.
+
+    Raises:
+        ValueError: if fewer than ``top_k`` ranked entries exist.
+    """
+    if len(entries) < top_k:
+        raise ValueError(
+            f"need {top_k} ranked attributes, have {len(entries)}"
+        )
+    profile_targets: list[ProfileTarget] = []
+    category_targets: list[CategoryTarget] = []
+    for entry in entries[:top_k]:
+        key, value = parse_sample_label(entry.label)
+        if value is not None:
+            spec = PROFILE_ATTRIBUTE_BY_KEY[key]
+            profile_targets.append(ProfileTarget(spec, value, per_value))
+        else:
+            category_of_key(key)  # validates the key
+            category_targets.append(CategoryTarget(key, per_value))
+    return SelectionPlan(tuple(profile_targets), tuple(category_targets))
+
+
+def spam_count_distribution(
+    outcome: ClassificationOutcome,
+) -> dict[int, float]:
+    """Figure 2: fraction of spammers vs. number of spam messages.
+
+    Returns a mapping {spam_count: fraction_of_spammers} over all
+    accounts the detector flagged at least once.
+    """
+    per_spammer: dict[int, int] = defaultdict(int)
+    for capture, spam in zip(outcome.captures, outcome.is_spam):
+        if spam:
+            per_spammer[capture.sender_id] += 1
+    if not per_spammer:
+        return {}
+    counts = np.array(list(per_spammer.values()))
+    total = len(counts)
+    distribution: dict[int, float] = {}
+    for value in sorted(set(counts.tolist())):
+        distribution[int(value)] = float(np.sum(counts == value)) / total
+    return distribution

@@ -1,0 +1,385 @@
+"""Attribute-based pseudo-honeypot node selection (Sections III-B/C).
+
+The selector screens live accounts against the Table I/II criteria and
+returns the hour's parasitic bodies.  Everything it reads comes through
+the public REST surface: a candidate sample, batch profile lookups, a
+recent-tweet sample (indexed locally into hashtag/topic -> author maps),
+and the trending classification.  Per Section III-D, only *Active*
+accounts are eligible (see :mod:`repro.core.portability`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..twittersim.api.rest import RestClient
+from ..twittersim.entities import UserProfile
+from ..twittersim.hashtags import HASHTAG_POOLS
+from .attributes import (
+    AttributeCategory,
+    AttributeSpec,
+    HASHTAG_ATTRIBUTE_KEYS,
+    PROFILE_ATTRIBUTES,
+    TRENDING_ATTRIBUTE_KEYS,
+    category_of_key,
+    hashtag_category_of_key,
+)
+from .portability import ActivityPolicy
+
+
+@dataclass(frozen=True)
+class HoneypotNode:
+    """One selected parasitic body for the current hour."""
+
+    user_id: int
+    screen_name: str
+    attribute_key: str
+    sample_label: str
+    category: AttributeCategory
+
+    @property
+    def track_term(self) -> str:
+        """The streaming-API filter term for this node."""
+        return f"@{self.screen_name}"
+
+
+@dataclass(frozen=True)
+class ProfileTarget:
+    """Select ``count`` accounts whose ``spec`` value ≈ ``value``."""
+
+    spec: AttributeSpec
+    value: float
+    count: int = 10
+
+    @property
+    def sample_label(self) -> str:
+        return self.spec.sample_label(self.value)
+
+
+@dataclass(frozen=True)
+class CategoryTarget:
+    """Select ``count`` accounts under a hashtag/trending attribute key."""
+
+    key: str
+    count: int = 100
+
+
+@dataclass(frozen=True)
+class SelectionPlan:
+    """The full shopping list of one selection round."""
+
+    profile_targets: tuple[ProfileTarget, ...] = ()
+    category_targets: tuple[CategoryTarget, ...] = ()
+
+    @property
+    def total_requested(self) -> int:
+        return sum(t.count for t in self.profile_targets) + sum(
+            t.count for t in self.category_targets
+        )
+
+    @classmethod
+    def full_paper_plan(cls, per_value: int = 10) -> "SelectionPlan":
+        """The paper's 2,400-node plan (Section V-A).
+
+        11 profile attributes x 10 sample values x ``per_value``
+        accounts, plus 9 hashtag and 4 trending attributes at
+        ``10 * per_value`` accounts each.
+        """
+        profile = tuple(
+            ProfileTarget(spec, value, per_value)
+            for spec in PROFILE_ATTRIBUTES
+            for value in spec.sample_values
+        )
+        category = tuple(
+            CategoryTarget(key, 10 * per_value)
+            for key in HASHTAG_ATTRIBUTE_KEYS + TRENDING_ATTRIBUTE_KEYS
+        )
+        return cls(profile, category)
+
+    @classmethod
+    def random_plan(
+        cls, n_targets: int, per_value: int, seed: int = 0
+    ) -> "SelectionPlan":
+        """Randomly chosen attributes (ground-truth collection, §V-C)."""
+        rng = np.random.default_rng(seed)
+        all_profile = [
+            (spec, value)
+            for spec in PROFILE_ATTRIBUTES
+            for value in spec.sample_values
+        ]
+        n_category = len(HASHTAG_ATTRIBUTE_KEYS) + len(TRENDING_ATTRIBUTE_KEYS)
+        picks = rng.choice(
+            len(all_profile) + n_category, size=n_targets, replace=False
+        )
+        category_keys = HASHTAG_ATTRIBUTE_KEYS + TRENDING_ATTRIBUTE_KEYS
+        profile_targets = []
+        category_targets = []
+        for pick in picks:
+            if pick < len(all_profile):
+                spec, value = all_profile[int(pick)]
+                profile_targets.append(ProfileTarget(spec, value, per_value))
+            else:
+                key = category_keys[int(pick) - len(all_profile)]
+                category_targets.append(CategoryTarget(key, per_value))
+        return cls(tuple(profile_targets), tuple(category_targets))
+
+
+@dataclass
+class SelectionReport:
+    """Bookkeeping of one selection round."""
+
+    requested: int = 0
+    selected: int = 0
+    shortfalls: dict[str, int] = field(default_factory=dict)
+
+    def record(self, label: str, requested: int, got: int) -> None:
+        self.requested += requested
+        self.selected += got
+        if got < requested:
+            self.shortfalls[label] = requested - got
+
+
+class AttributeSelector:
+    """Screens accounts and assembles pseudo-honeypot node sets.
+
+    Args:
+        rest: REST client of the platform.
+        candidate_pool: profile-candidate sample size per round.
+        tolerance: multiplicative matching window around a sample value
+            (a candidate matches value v when v/tolerance <= x <= v*tolerance).
+        activity: Active/Dormant policy; only Active accounts are
+            selected (pass None to disable the portability filter).
+        recent_limit: size of the recent-tweet sample indexed per round.
+        seed: tie-breaking randomness.
+    """
+
+    def __init__(
+        self,
+        rest: RestClient,
+        candidate_pool: int = 6_000,
+        tolerance: float = 1.6,
+        activity: ActivityPolicy | None = None,
+        recent_limit: int = 40_000,
+        seed: int = 0,
+    ) -> None:
+        if tolerance <= 1.0:
+            raise ValueError("tolerance must be > 1")
+        self.rest = rest
+        self.candidate_pool = candidate_pool
+        self.tolerance = tolerance
+        self.activity = activity
+        self.recent_limit = recent_limit
+        self._rng = np.random.default_rng(seed)
+        self.last_report: SelectionReport | None = None
+
+    # ------------------------------------------------------------------
+
+    def select(self, plan: SelectionPlan, now: float) -> list[HoneypotNode]:
+        """Run one selection round and return the hour's node set.
+
+        Accounts are used at most once across the whole round, so the
+        returned nodes are distinct parasitic bodies.
+        """
+        report = SelectionReport()
+        used: set[int] = set()
+        nodes: list[HoneypotNode] = []
+
+        recent_index = self._index_recent_sample()
+        candidates = self._profile_candidates(now, recent_index)
+
+        for target in plan.profile_targets:
+            got = self._select_profile(
+                target, now, candidates, used, nodes
+            )
+            report.record(target.sample_label, target.count, got)
+
+        for target in plan.category_targets:
+            got = self._select_category(
+                target, now, recent_index, used, nodes
+            )
+            report.record(target.key, target.count, got)
+
+        self.last_report = report
+        return nodes
+
+    # ------------------------------------------------------------------
+
+    def _index_recent_sample(self) -> dict:
+        """One bulk read of the sample stream, indexed locally."""
+        recent = self.rest.recent_sample(self.recent_limit)
+        hashtag_authors: dict[str, list[int]] = defaultdict(list)
+        topic_authors: dict[str, list[int]] = defaultdict(list)
+        hashtag_usage: Counter = Counter()
+        author_used_hashtag: set[int] = set()
+        author_used_topic: set[int] = set()
+        author_last_post: dict[int, float] = {}
+        author_name: dict[int, str] = {}
+        for tweet in recent:
+            uid = tweet.user.user_id
+            author_last_post[uid] = tweet.created_at
+            author_name[uid] = tweet.user.screen_name
+            for tag in tweet.hashtags:
+                hashtag_authors[tag].append(uid)
+                hashtag_usage[tag] += 1
+                author_used_hashtag.add(uid)
+            if tweet.topic is not None:
+                topic_authors[tweet.topic].append(uid)
+                author_used_topic.add(uid)
+        return {
+            "hashtag_authors": hashtag_authors,
+            "topic_authors": topic_authors,
+            "hashtag_usage": hashtag_usage,
+            "author_used_hashtag": author_used_hashtag,
+            "author_used_topic": author_used_topic,
+            "author_last_post": author_last_post,
+            "author_name": author_name,
+        }
+
+    def _profile_candidates(
+        self, now: float, recent_index: dict
+    ) -> list[UserProfile]:
+        """Sample, look up, and activity-filter profile candidates."""
+        ids = self.rest.sample_user_ids(self.candidate_pool)
+        profiles: list[UserProfile] = []
+        for start in range(0, len(ids), RestClient.LOOKUP_BATCH):
+            profiles.extend(
+                self.rest.lookup_users(
+                    ids[start : start + RestClient.LOOKUP_BATCH]
+                )
+            )
+        if self.activity is None:
+            return profiles
+        last_post = recent_index["author_last_post"]
+        return [
+            p
+            for p in profiles
+            if self.activity.is_active_from_history(
+                last_post.get(p.user_id), now
+            )
+            or self.activity.is_active(self.rest, p.user_id, now)
+        ]
+
+    def _select_profile(
+        self,
+        target: ProfileTarget,
+        now: float,
+        candidates: list[UserProfile],
+        used: set[int],
+        nodes: list[HoneypotNode],
+    ) -> int:
+        matches: list[tuple[float, UserProfile]] = []
+        log_tol = math.log(self.tolerance)
+        for profile in candidates:
+            if profile.user_id in used:
+                continue
+            value = target.spec.value_of(profile, now)
+            if value <= 0:
+                continue
+            distance = abs(math.log(value / target.value))
+            if distance <= log_tol:
+                matches.append((distance, profile))
+        matches.sort(key=lambda pair: (pair[0], pair[1].user_id))
+        got = 0
+        for __, profile in matches[: target.count]:
+            nodes.append(
+                HoneypotNode(
+                    user_id=profile.user_id,
+                    screen_name=profile.screen_name,
+                    attribute_key=target.spec.key,
+                    sample_label=target.sample_label,
+                    category=AttributeCategory.PROFILE,
+                )
+            )
+            used.add(profile.user_id)
+            got += 1
+        return got
+
+    def _select_category(
+        self,
+        target: CategoryTarget,
+        now: float,
+        recent_index: dict,
+        used: set[int],
+        nodes: list[HoneypotNode],
+    ) -> int:
+        key = target.key
+        category = category_of_key(key)
+        if category is AttributeCategory.HASHTAG:
+            author_pool = self._hashtag_author_pool(key, recent_index)
+        else:
+            author_pool = self._trending_author_pool(key, recent_index)
+        author_name = recent_index["author_name"]
+        got = 0
+        for uid in author_pool:
+            if got >= target.count:
+                break
+            if uid in used or uid not in author_name:
+                continue
+            nodes.append(
+                HoneypotNode(
+                    user_id=uid,
+                    screen_name=author_name[uid],
+                    attribute_key=key,
+                    sample_label=key,
+                    category=category,
+                )
+            )
+            used.add(uid)
+            got += 1
+        return got
+
+    def _hashtag_author_pool(self, key: str, recent_index: dict) -> list[int]:
+        hashtag_authors = recent_index["hashtag_authors"]
+        usage = recent_index["hashtag_usage"]
+        if key == "no_hashtag":
+            pool = [
+                uid
+                for uid in recent_index["author_last_post"]
+                if uid not in recent_index["author_used_hashtag"]
+            ]
+            self._rng.shuffle(pool)
+            return pool
+        hashtag_category = hashtag_category_of_key(key)
+        tags = sorted(
+            HASHTAG_POOLS[hashtag_category],
+            key=lambda tag: (-usage[tag], tag),
+        )[:10]
+        # Round-robin the top-10 hashtags: ~count/10 authors per tag.
+        pool: list[int] = []
+        queues = [list(dict.fromkeys(hashtag_authors[tag])) for tag in tags]
+        while any(queues):
+            for queue in queues:
+                if queue:
+                    pool.append(queue.pop(0))
+        return list(dict.fromkeys(pool))
+
+    def _trending_author_pool(self, key: str, recent_index: dict) -> list[int]:
+        topic_authors = recent_index["topic_authors"]
+        if key == "no_trending":
+            pool = [
+                uid
+                for uid in recent_index["author_last_post"]
+                if uid not in recent_index["author_used_topic"]
+            ]
+            self._rng.shuffle(pool)
+            return pool
+        trending = self.rest.trending_sets()
+        topics = {
+            "trending_up": trending["trending_up"],
+            "trending_down": trending["trending_down"],
+            "popular_tweets": trending["popular"],
+        }[key]
+        pool: list[int] = []
+        queues = [
+            list(dict.fromkeys(topic_authors[topic]))
+            for topic in sorted(topics)
+        ]
+        while any(queues):
+            for queue in queues:
+                if queue:
+                    pool.append(queue.pop(0))
+        return list(dict.fromkeys(pool))

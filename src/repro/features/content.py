@@ -1,0 +1,60 @@
+"""The 8 tweet-content features (Section IV-A, "Tweet Contents")."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..twittersim.entities import Tweet, TweetKind, TweetSource
+from .textstats import count_digits, count_emoji
+
+N_CONTENT_FEATURES = 8
+
+_KIND_CODE = {
+    TweetKind.TWEET: 0.0,
+    TweetKind.RETWEET: 1.0,
+    TweetKind.QUOTE: 2.0,
+}
+
+_SOURCE_CODE = {
+    TweetSource.WEB: 0.0,
+    TweetSource.MOBILE: 1.0,
+    TweetSource.THIRD_PARTY: 2.0,
+    TweetSource.OTHER: 3.0,
+}
+
+
+def normalize_text_for_dedup(text: str) -> str:
+    """Canonical form for the "is repeated" feature.
+
+    Mentions and URLs are stripped so a campaign blasting the same
+    slogan at different victims still counts as repeated content.
+    """
+    tokens = [
+        token
+        for token in text.lower().split()
+        if not token.startswith("@") and not token.startswith("http")
+    ]
+    return " ".join(tokens)
+
+
+def content_features(tweet: Tweet, repeated: bool) -> np.ndarray:
+    """The 8 content features of one tweet.
+
+    Args:
+        tweet: the tweet record.
+        repeated: whether this (normalized) text was seen before in the
+            collection window — tracked by the extractor, which owns
+            the dedup memory.
+    """
+    return np.array(
+        [
+            float(repeated),
+            _KIND_CODE[tweet.kind],
+            _SOURCE_CODE[tweet.source],
+            float(len(tweet.hashtags)),
+            float(len(tweet.mentions)),
+            float(len(tweet.text)),
+            float(count_emoji(tweet.text)),
+            float(count_digits(tweet.text)),
+        ]
+    )

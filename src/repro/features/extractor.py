@@ -1,0 +1,189 @@
+"""The 58-feature extractor (Section IV-A).
+
+``FeatureExtractor`` is stateful: behavioral features are running
+statistics over the captured stream, the "is repeated" content feature
+needs a dedup memory, receiver-profile features need a profile cache,
+and the environment score needs the per-attribute group-likelihood
+tracker.  Feed it captured tweets in timestamp order; each call
+extracts the feature vector *from the past only* and then folds the
+tweet into the state (no self-leakage).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..twittersim.entities import Tweet, UserProfile
+from .behavior import BehaviorTracker
+from .content import content_features, normalize_text_for_dedup
+from .environment import EnvironmentScoreTracker
+from .profile import empty_profile_features, profile_features
+from .schema import N_FEATURES
+
+#: Sentinel for "not a reaction to any post" in the mention-time slot.
+NO_MENTION_TIME = -1.0
+
+
+class FeatureExtractor:
+    """Extracts the paper's 58 features from a captured tweet stream.
+
+    Args:
+        honeypot_ids: ids of current pseudo-honeypot nodes; a tweet's
+            *receiver* is its first mentioned honeypot node, falling
+            back to its first mention (footnote 2 of the paper).
+        environment: shared group-likelihood tracker; a fresh one is
+            created if omitted.
+        dedup_window_s: how long a normalized text stays "seen" for the
+            is-repeated feature (paper uses a 1-day window for content
+            duplication checks).
+    """
+
+    def __init__(
+        self,
+        honeypot_ids: set[int] | None = None,
+        environment: EnvironmentScoreTracker | None = None,
+        dedup_window_s: float = 86_400.0,
+    ) -> None:
+        self.honeypot_ids = honeypot_ids or set()
+        self.environment = environment or EnvironmentScoreTracker()
+        self.dedup_window_s = dedup_window_s
+        self.behavior = BehaviorTracker()
+        self._profiles: dict[int, UserProfile] = {}
+        self._text_last_seen: dict[str, float] = {}
+        self._dedup_prune_at = 0.0
+
+    # ------------------------------------------------------------------
+
+    def register_profile(self, profile: UserProfile) -> None:
+        """Seed the receiver-profile cache (e.g. with honeypot nodes)."""
+        self._profiles[profile.user_id] = profile
+
+    def set_honeypot_ids(self, honeypot_ids: set[int]) -> None:
+        """Update current honeypot node ids (hourly switching)."""
+        self.honeypot_ids = honeypot_ids
+
+    def receiver_of(self, tweet: Tweet) -> int | None:
+        """The receiver account id of a tweet, if any."""
+        for mention in tweet.mentions:
+            if mention.user_id in self.honeypot_ids:
+                return mention.user_id
+        return tweet.mentions[0].user_id if tweet.mentions else None
+
+    # ------------------------------------------------------------------
+
+    def extract(
+        self, tweet: Tweet, attributes: tuple[str, ...] = ()
+    ) -> np.ndarray:
+        """Feature vector of one captured tweet, then update state.
+
+        Args:
+            tweet: the captured tweet.
+            attributes: selection-attribute labels of the capturing
+                pseudo-honeypot node (drives the environment score).
+
+        Returns:
+            float64 vector of length 58 in schema order.
+        """
+        now = tweet.created_at
+        sender = tweet.user
+
+        receiver_id = self.receiver_of(tweet)
+        receiver_profile = (
+            self._profiles.get(receiver_id) if receiver_id is not None else None
+        )
+
+        normalized = normalize_text_for_dedup(tweet.text)
+        last_seen = self._text_last_seen.get(normalized)
+        repeated = (
+            last_seen is not None and now - last_seen <= self.dedup_window_s
+        )
+
+        sender_activity = self.behavior.activity(sender.user_id)
+        receiver_activity = (
+            self.behavior.activity(receiver_id)
+            if receiver_id is not None
+            else None
+        )
+
+        mention_time = tweet.mention_time()
+        reciprocity = (
+            self.behavior.reciprocity(sender.user_id, receiver_id)
+            if receiver_id is not None
+            else 0
+        )
+
+        vector = np.empty(N_FEATURES)
+        vector[0:16] = profile_features(sender, now)
+        vector[16:32] = (
+            profile_features(receiver_profile, now)
+            if receiver_profile is not None
+            else empty_profile_features()
+        )
+        vector[32:40] = content_features(tweet, repeated)
+        vector[40] = float(reciprocity)
+        vector[41:44] = sender_activity.kind_fractions()
+        vector[44:47] = (
+            receiver_activity.kind_fractions()
+            if receiver_activity is not None
+            else 0.0
+        )
+        vector[47:51] = sender_activity.source_fractions()
+        vector[51:55] = (
+            receiver_activity.source_fractions()
+            if receiver_activity is not None
+            else 0.0
+        )
+        vector[55] = (
+            mention_time if mention_time is not None else NO_MENTION_TIME
+        )
+        vector[56] = sender_activity.average_interval()
+        vector[57] = self.environment.score(attributes)
+
+        self._update(tweet, normalized, attributes)
+        return vector
+
+    def extract_batch(
+        self,
+        tweets: list[Tweet],
+        attributes: list[tuple[str, ...]] | None = None,
+    ) -> np.ndarray:
+        """Extract a (n, 58) matrix from tweets in timestamp order.
+
+        Raises:
+            ValueError: if ``attributes`` is given with a length
+                different from ``tweets``.
+        """
+        if attributes is not None and len(attributes) != len(tweets):
+            raise ValueError("attributes must align with tweets")
+        rows = np.empty((len(tweets), N_FEATURES))
+        for i, tweet in enumerate(tweets):
+            attrs = attributes[i] if attributes is not None else ()
+            rows[i] = self.extract(tweet, attrs)
+        return rows
+
+    def notify_spam(
+        self, tweet: Tweet, attributes: tuple[str, ...] = ()
+    ) -> None:
+        """Report a confirmed spam so group-likelihood scores update."""
+        self.environment.record_spam(attributes)
+
+    # ------------------------------------------------------------------
+
+    def _update(
+        self, tweet: Tweet, normalized: str, attributes: tuple[str, ...]
+    ) -> None:
+        self.behavior.record(tweet)
+        self._profiles[tweet.user.user_id] = tweet.user
+        self._text_last_seen[normalized] = tweet.created_at
+        self.environment.record_capture(attributes)
+        if tweet.created_at >= self._dedup_prune_at:
+            self._prune_dedup(tweet.created_at)
+
+    def _prune_dedup(self, now: float) -> None:
+        horizon = now - self.dedup_window_s
+        self._text_last_seen = {
+            text: ts
+            for text, ts in self._text_last_seen.items()
+            if ts >= horizon
+        }
+        self._dedup_prune_at = now + self.dedup_window_s / 4

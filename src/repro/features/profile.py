@@ -1,0 +1,47 @@
+"""The 16 account-profile features (Section IV-A, "Account Profile").
+
+Extracted from the profile snapshot embedded in tweet JSON, for both
+the sender and — when the tweet mentions a pseudo-honeypot node — the
+receiver.  Tweets without an applicable receiver get a zero block
+(footnote 2: receiver features exist only for receivers we can single
+out).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..twittersim.entities import UserProfile
+from .textstats import count_digits, count_emoji
+
+N_PROFILE_FEATURES = 16
+
+
+def profile_features(profile: UserProfile, now: float) -> np.ndarray:
+    """The 16 profile features of one account at time ``now``."""
+    age = profile.age_days(now)
+    return np.array(
+        [
+            float(profile.friends_count),
+            float(profile.followers_count),
+            age,
+            float(profile.statuses_count),
+            profile.statuses_count / age,
+            float(profile.listed_count),
+            profile.listed_count / age,
+            profile.favourites_count / age,
+            float(profile.favourites_count),
+            float(profile.verified),
+            float(profile.default_profile_image),
+            float(len(profile.screen_name)),
+            float(len(profile.name)),
+            float(len(profile.description)),
+            float(count_emoji(profile.description)),
+            float(count_digits(profile.description)),
+        ]
+    )
+
+
+def empty_profile_features() -> np.ndarray:
+    """Zero block used when no receiver profile is available."""
+    return np.zeros(N_PROFILE_FEATURES)

@@ -1,0 +1,90 @@
+"""Feature schema: names and layout of the 58-dimensional vector.
+
+Section IV-A defines 58 features: 16 sender-profile, 16 receiver-
+profile, 8 tweet-content, and 18 behavioral.  The vector layout here is
+fixed and shared by the extractor, the detector, tests, and the
+feature-ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+PROFILE_FEATURE_NAMES: tuple[str, ...] = (
+    "friends_count",
+    "followers_count",
+    "age_days",
+    "statuses_count",
+    "avg_statuses_per_day",
+    "listed_count",
+    "avg_lists_per_day",
+    "avg_favourites_per_day",
+    "favourites_count",
+    "verified",
+    "default_profile_image",
+    "screen_name_length",
+    "name_length",
+    "description_length",
+    "description_emoji_count",
+    "description_digit_count",
+)
+
+CONTENT_FEATURE_NAMES: tuple[str, ...] = (
+    "is_repeated",
+    "tweet_status",
+    "tweet_source",
+    "hashtag_count",
+    "mention_count",
+    "content_length",
+    "content_emoji_count",
+    "content_digit_count",
+)
+
+BEHAVIOR_FEATURE_NAMES: tuple[str, ...] = (
+    "reciprocity_count",
+    "sender_tweet_frac",
+    "sender_retweet_frac",
+    "sender_quote_frac",
+    "receiver_tweet_frac",
+    "receiver_retweet_frac",
+    "receiver_quote_frac",
+    "sender_source_web_frac",
+    "sender_source_mobile_frac",
+    "sender_source_third_party_frac",
+    "sender_source_other_frac",
+    "receiver_source_web_frac",
+    "receiver_source_mobile_frac",
+    "receiver_source_third_party_frac",
+    "receiver_source_other_frac",
+    "mention_time",
+    "avg_tweet_interval",
+    "environment_score",
+)
+
+FEATURE_NAMES: tuple[str, ...] = (
+    tuple(f"sender_{name}" for name in PROFILE_FEATURE_NAMES)
+    + tuple(f"receiver_{name}" for name in PROFILE_FEATURE_NAMES)
+    + CONTENT_FEATURE_NAMES
+    + BEHAVIOR_FEATURE_NAMES
+)
+
+N_FEATURES = len(FEATURE_NAMES)
+assert N_FEATURES == 58, f"schema drifted: {N_FEATURES} features"
+
+#: Index ranges of the four feature groups, for ablation studies.
+FEATURE_GROUPS: dict[str, tuple[int, int]] = {
+    "sender_profile": (0, 16),
+    "receiver_profile": (16, 32),
+    "content": (32, 40),
+    "behavior": (40, 58),
+}
+
+
+def feature_index(name: str) -> int:
+    """Position of a feature name in the vector.
+
+    Raises:
+        KeyError: if the name is not in the schema.
+    """
+    try:
+        return FEATURE_NAMES.index(name)
+    except ValueError:
+        raise KeyError(f"unknown feature {name!r}") from None

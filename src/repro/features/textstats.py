@@ -1,0 +1,49 @@
+"""Character-class statistics over tweet texts and profile strings."""
+
+from __future__ import annotations
+
+import unicodedata
+
+
+def count_digits(text: str) -> int:
+    """Number of decimal digit characters."""
+    return sum(ch.isdigit() for ch in text)
+
+
+def is_emoji(ch: str) -> bool:
+    """Heuristic emoji test: symbol/other characters above U+2600.
+
+    Covers the emoji blocks (Misc Symbols, Dingbats, Supplemental
+    Symbols, Emoticons) without an external emoji database.
+    """
+    code = ord(ch)
+    if code < 0x2600:
+        return False
+    return unicodedata.category(ch) in ("So", "Sk", "Cn")
+
+
+def count_emoji(text: str) -> int:
+    """Number of emoji characters (variation selectors excluded)."""
+    return sum(is_emoji(ch) for ch in text)
+
+
+def strip_for_shingling(text: str) -> str:
+    """Normalize a text for MinHash: drop URLs, emoji, punctuation,
+    and digit-only tokens, collapsing case/whitespace.
+
+    Mirrors Section IV-B's preprocessing (remove URL, emoji, stop
+    words, special characters).  Digit-only tokens are dropped because
+    campaigns append counters/cache-busters to otherwise identical
+    blasts — exactly the variation near-duplicate detection must see
+    through.
+    """
+    tokens = []
+    for token in text.lower().split():
+        if token.startswith("http"):
+            continue
+        cleaned = "".join(
+            ch for ch in token if ch.isalnum() and not is_emoji(ch)
+        )
+        if cleaned and not cleaned.isdigit():
+            tokens.append(cleaned)
+    return " ".join(tokens)

@@ -1,0 +1,145 @@
+"""Difference-hash (dHash) profile-image fingerprinting (Section IV-B).
+
+Following the paper: the image is reduced to 9x9 grayscale, adjacent
+pixels are compared horizontally and vertically (8x8 bits each), and
+the two 64-bit values are concatenated into a 128-bit hash.  Two images
+belong to the same group when the Hamming distance of their hashes is
+below a threshold (paper: 5).
+
+Pairwise comparison over all captured avatars would be O(n²); grouping
+uses the pigeonhole trick instead: a 128-bit hash is cut into
+``threshold + 1`` segments, and any two hashes within the threshold
+must agree on at least one whole segment, so candidate pairs are found
+by bucketing on segments and verified exactly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+#: Paper's grouping threshold on Hamming distance.
+DEFAULT_THRESHOLD = 5
+
+_HASH_BITS = 128
+
+
+def _resize_grayscale(image: np.ndarray, size: int = 9) -> np.ndarray:
+    """Block-average an image down to (size, size) float64."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim == 3:
+        image = image.mean(axis=2)
+    h, w = image.shape
+    if h < size or w < size:
+        raise ValueError(f"image {image.shape} smaller than {size}x{size}")
+    row_edges = np.linspace(0, h, size + 1).astype(int)
+    col_edges = np.linspace(0, w, size + 1).astype(int)
+    out = np.empty((size, size))
+    for i in range(size):
+        for j in range(size):
+            block = image[
+                row_edges[i] : row_edges[i + 1],
+                col_edges[j] : col_edges[j + 1],
+            ]
+            out[i, j] = block.mean()
+    return out
+
+
+def dhash(image: np.ndarray) -> int:
+    """128-bit difference hash of an image.
+
+    The horizontal pass compares each of the 8x8 left/right neighbor
+    pairs of the 9x9 reduction; the vertical pass compares top/bottom
+    pairs; bits are concatenated horizontal-first.
+    """
+    small = _resize_grayscale(image, 9)
+    horizontal = (small[:8, :8] > small[:8, 1:9]).flatten()
+    vertical = (small[:8, :8] > small[1:9, :8]).flatten()
+    bits = np.concatenate([horizontal, vertical])
+    value = 0
+    for bit in bits:
+        value = (value << 1) | int(bit)
+    return value
+
+
+def hamming_distance(hash_a: int, hash_b: int) -> int:
+    """Number of differing bits between two hashes."""
+    return (hash_a ^ hash_b).bit_count()
+
+
+def _segments(value: int, n_segments: int) -> list[tuple[int, int]]:
+    """Split a 128-bit value into (segment_index, segment_bits) keys."""
+    seg_bits = _HASH_BITS // n_segments
+    mask = (1 << seg_bits) - 1
+    return [
+        (i, (value >> (i * seg_bits)) & mask) for i in range(n_segments)
+    ]
+
+
+class _UnionFind:
+    """Disjoint-set forest with path compression."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def group_by_dhash(
+    hashes: list[int], threshold: int = DEFAULT_THRESHOLD
+) -> list[list[int]]:
+    """Group hash indices whose pairwise Hamming distance <= threshold.
+
+    Grouping is transitive (single-linkage through the union-find), as
+    in campaign detection: A~B and B~C put A, C in one campaign even if
+    A and C differ by slightly more than the threshold.
+
+    Returns:
+        Groups of *indices into the input list*, each of size >= 2.
+    """
+    n_segments = threshold + 1
+    if _HASH_BITS % n_segments:
+        # Round up to a divisor of 128 so segments are equal-sized.
+        while _HASH_BITS % n_segments:
+            n_segments += 1
+    buckets: dict[tuple[int, int], list[int]] = defaultdict(list)
+    for idx, value in enumerate(hashes):
+        for key in _segments(value, n_segments):
+            buckets[key].append(idx)
+    uf = _UnionFind(len(hashes))
+    for members in buckets.values():
+        if len(members) < 2:
+            continue
+        anchor = members[0]
+        for other in members[1:]:
+            if hamming_distance(hashes[anchor], hashes[other]) <= threshold:
+                uf.union(anchor, other)
+            else:
+                # The anchor may not match, but another member might;
+                # fall back to pairwise checks within the bucket only
+                # when the bucket is small enough to stay near-linear.
+                for third in members:
+                    if third is other:
+                        break
+                    if (
+                        hamming_distance(hashes[third], hashes[other])
+                        <= threshold
+                    ):
+                        uf.union(third, other)
+                        break
+    groups: dict[int, list[int]] = defaultdict(list)
+    for idx in range(len(hashes)):
+        groups[uf.find(idx)].append(idx)
+    return [members for members in groups.values() if len(members) >= 2]

@@ -1,0 +1,50 @@
+"""Manual-checking oracle (substitution for the paper's human pass).
+
+The paper spends two weeks manually refining the roughly-labeled data
+into a reliable ground truth.  We substitute a *noisy oracle*: it
+consults the simulator's hidden truth but errs with a configurable
+rate, modeling human annotator imperfection.  Deterministic per
+(seed, item id) so repeated audits of the same item agree, as a human
+annotator pool with a fixed assignment would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..twittersim.population import GroundTruth
+
+
+class ManualChecker:
+    """Noisy human-annotator stand-in backed by simulator truth.
+
+    Args:
+        truth: the simulator's ground truth.
+        error_rate: probability an individual verdict is flipped.
+        seed: determinism seed.
+    """
+
+    def __init__(
+        self, truth: GroundTruth, error_rate: float = 0.02, seed: int = 0
+    ) -> None:
+        if not 0 <= error_rate < 0.5:
+            raise ValueError("error_rate must be in [0, 0.5)")
+        self.truth = truth
+        self.error_rate = error_rate
+        self.seed = seed
+        self.verdicts_issued = 0
+
+    def _noisy(self, actual: bool, item_id: int) -> bool:
+        self.verdicts_issued += 1
+        rng = np.random.default_rng((self.seed << 32) ^ item_id)
+        if rng.random() < self.error_rate:
+            return not actual
+        return actual
+
+    def check_tweet(self, tweet_id: int) -> bool:
+        """Human verdict: is this tweet spam?"""
+        return self._noisy(self.truth.is_spam_tweet(tweet_id), tweet_id)
+
+    def check_user(self, user_id: int) -> bool:
+        """Human verdict: is this account a spammer?"""
+        return self._noisy(self.truth.is_spammer(user_id), user_id ^ 0xA5A5)

@@ -1,0 +1,91 @@
+"""MinHash over tri-gram shingles for near-duplicate text (Section IV-B).
+
+User descriptions (and tweet bodies, for the near-duplicate tweet
+check) are normalized, cut into character tri-gram shingles, and
+hashed by k universal hash functions; the signature is the vector of
+per-function minima.  Following the paper, two texts are considered
+identical when their signatures agree, so grouping is a dictionary
+bucket on the signature tuple.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..features.textstats import strip_for_shingling
+
+_MERSENNE_PRIME = (1 << 61) - 1
+
+
+class MinHasher:
+    """k-function MinHash signatures over character tri-grams.
+
+    Args:
+        n_hashes: signature length k (more = stricter identity).
+        shingle_size: character n-gram size (paper: tri-grams).
+        seed: seeds the universal hash coefficients.
+    """
+
+    def __init__(
+        self, n_hashes: int = 16, shingle_size: int = 3, seed: int = 0
+    ) -> None:
+        if n_hashes < 1:
+            raise ValueError("n_hashes must be >= 1")
+        if shingle_size < 1:
+            raise ValueError("shingle_size must be >= 1")
+        self.n_hashes = n_hashes
+        self.shingle_size = shingle_size
+        rng = np.random.default_rng(seed)
+        self._a = rng.integers(1, _MERSENNE_PRIME, size=n_hashes, dtype=np.int64)
+        self._b = rng.integers(0, _MERSENNE_PRIME, size=n_hashes, dtype=np.int64)
+
+    def shingles(self, text: str) -> set[int]:
+        """Hashed character shingles of a normalized text."""
+        normalized = strip_for_shingling(text)
+        k = self.shingle_size
+        if len(normalized) < k:
+            return {hash(normalized) & 0x7FFFFFFFFFFFFFFF}
+        return {
+            hash(normalized[i : i + k]) & 0x7FFFFFFFFFFFFFFF
+            for i in range(len(normalized) - k + 1)
+        }
+
+    def signature(self, text: str) -> tuple[int, ...]:
+        """MinHash signature of a text."""
+        shingles = np.fromiter(
+            self.shingles(text), dtype=np.int64
+        )
+        # (k, s) universal hashes; min over shingles per function.
+        hashed = (
+            self._a[:, None] * shingles[None, :] + self._b[:, None]
+        ) % _MERSENNE_PRIME
+        return tuple(int(v) for v in hashed.min(axis=1))
+
+    def similarity(self, text_a: str, text_b: str) -> float:
+        """Estimated Jaccard similarity: fraction of agreeing minima."""
+        sig_a = self.signature(text_a)
+        sig_b = self.signature(text_b)
+        agree = sum(a == b for a, b in zip(sig_a, sig_b))
+        return agree / self.n_hashes
+
+
+def group_by_signature(
+    texts: list[str], hasher: MinHasher | None = None
+) -> list[list[int]]:
+    """Group indices of texts with identical MinHash signatures.
+
+    Empty (post-normalization) texts are never grouped: a blank bio is
+    not evidence of affiliation.
+
+    Returns:
+        Groups of indices, each of size >= 2.
+    """
+    hasher = hasher or MinHasher()
+    buckets: dict[tuple[int, ...], list[int]] = defaultdict(list)
+    for idx, text in enumerate(texts):
+        if not strip_for_shingling(text):
+            continue
+        buckets[hasher.signature(text)].append(idx)
+    return [members for members in buckets.values() if len(members) >= 2]

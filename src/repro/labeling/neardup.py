@@ -1,0 +1,43 @@
+"""Near-duplicate tweet detection in daily windows (Section IV-B).
+
+The paper checks near-duplicated tweets inside 1-day time windows,
+skipping contents shorter than 20 characters.  Texts are normalized
+(mentions and URLs stripped — campaigns rotate both per blast) and
+grouped by MinHash signature within each window.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..features.content import normalize_text_for_dedup
+from ..twittersim.clock import SECONDS_PER_DAY
+from ..twittersim.entities import Tweet
+from .minhash import MinHasher
+
+#: Minimum raw content length considered (paper: 20 characters).
+MIN_CONTENT_LENGTH = 20
+
+
+def group_near_duplicates(
+    tweets: list[Tweet],
+    hasher: MinHasher | None = None,
+    window_s: float = SECONDS_PER_DAY,
+) -> list[list[int]]:
+    """Group indices of near-duplicate tweets per 1-day window.
+
+    Returns:
+        Groups of indices into ``tweets``, each of size >= 2; a group
+        never spans two windows.
+    """
+    hasher = hasher or MinHasher()
+    buckets: dict[tuple[int, tuple[int, ...]], list[int]] = defaultdict(list)
+    for idx, tweet in enumerate(tweets):
+        if len(tweet.text) < MIN_CONTENT_LENGTH:
+            continue
+        normalized = normalize_text_for_dedup(tweet.text)
+        if len(normalized) < 3:
+            continue
+        window = int(tweet.created_at // window_s)
+        buckets[(window, hasher.signature(normalized))].append(idx)
+    return [members for members in buckets.values() if len(members) >= 2]

@@ -1,0 +1,201 @@
+"""Rule-based labeling policies (Section IV-B).
+
+The paper lists eleven spam conditions, a seed-account whitelist for
+non-spam, and an affiliation-symbol rule.  Each condition is a
+standalone predicate over a tweet (with a little stream context), so
+individual rules are unit-testable and the pipeline can report which
+rule fired.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..features.content import normalize_text_for_dedup
+from ..features.textstats import count_digits, count_emoji
+from ..twittersim.entities import Tweet, TweetSource
+from ..twittersim.text import SPAM_KEYWORD_CLASSES, is_malicious_url
+
+#: Symbols whose group-wide presence triggers the affiliation rule.
+AFFILIATION_SYMBOLS = ("💰", "🔥", "💯")
+
+_MONEY = frozenset(SPAM_KEYWORD_CLASSES["money"])
+_ADULT = frozenset(SPAM_KEYWORD_CLASSES["adult"])
+_PROMO = frozenset(SPAM_KEYWORD_CLASSES["promo"])
+_DECEPTION = frozenset(SPAM_KEYWORD_CLASSES["deception"])
+_OFFENSIVE = frozenset({"explicit", "xxx", "offensive", "hate"})
+
+
+def _words(tweet: Tweet) -> set[str]:
+    return {
+        token.strip(".,!?#").lower()
+        for token in tweet.text.split()
+        if not token.startswith("@") and not token.startswith("http")
+    }
+
+
+@dataclass
+class StreamContext:
+    """Cross-tweet context the repetition and bot rules need."""
+
+    text_counts: Counter = field(default_factory=Counter)
+    #: Prior interaction pairs (sender, receiver) seen in the stream.
+    known_pairs: set[tuple[int, int]] = field(default_factory=set)
+
+    def observe(self, tweet: Tweet) -> None:
+        """Fold a tweet into the context (call after evaluating it)."""
+        self.text_counts[normalize_text_for_dedup(tweet.text)] += 1
+        for mention in tweet.mentions:
+            self.known_pairs.add((tweet.user.user_id, mention.user_id))
+
+
+# --- The 11 spam conditions -------------------------------------------------
+
+
+def rule_malicious_url(tweet: Tweet, ctx: StreamContext) -> bool:
+    """1) has a malicious URL (blacklist hit)."""
+    return any(is_malicious_url(url) for url in tweet.urls)
+
+
+def rule_repetitive(tweet: Tweet, ctx: StreamContext) -> bool:
+    """2) includes repetitive information (same content >= 3 times)."""
+    return ctx.text_counts[normalize_text_for_dedup(tweet.text)] >= 3
+
+
+def rule_deceptive(tweet: Tweet, ctx: StreamContext) -> bool:
+    """3) includes deceptive information (phishing-style keywords)."""
+    return len(_words(tweet) & _DECEPTION) >= 2
+
+
+def rule_pertinence(tweet: Tweet, ctx: StreamContext) -> bool:
+    """4) has pertinence purpose: unsolicited targeted promotion."""
+    return bool(tweet.mentions) and len(_words(tweet) & _PROMO) >= 2
+
+
+def rule_meaningless(tweet: Tweet, ctx: StreamContext) -> bool:
+    """5) includes many meaningless contents (symbol/digit-dominated)."""
+    words = [
+        token
+        for token in tweet.text.split()
+        if not token.startswith(("@", "http", "#"))
+    ]
+    if len(words) > 4:
+        return False
+    noise = count_emoji(tweet.text) + count_digits(tweet.text)
+    return noise >= 6
+
+
+def rule_money(tweet: Tweet, ctx: StreamContext) -> bool:
+    """6) promises free or quick money gain."""
+    return len(_words(tweet) & _MONEY) >= 2
+
+
+def rule_adult(tweet: Tweet, ctx: StreamContext) -> bool:
+    """7) includes adult content."""
+    return len(_words(tweet) & _ADULT) >= 1
+
+
+def rule_bot_automation(tweet: Tweet, ctx: StreamContext) -> bool:
+    """8) automatic bot/app tweet with malicious signals.
+
+    Third-party client + templated (repeated) content + a near-instant
+    reaction time is the bot signature.
+    """
+    if tweet.source is not TweetSource.THIRD_PARTY:
+        return False
+    repeated = ctx.text_counts[normalize_text_for_dedup(tweet.text)] >= 2
+    mention_time = tweet.mention_time()
+    instant = mention_time is not None and mention_time < 120.0
+    return repeated and instant
+
+
+def rule_malicious_promoter(tweet: Tweet, ctx: StreamContext) -> bool:
+    """9) from malicious promoters: promo keywords plus a link."""
+    return bool(tweet.urls) and len(_words(tweet) & _PROMO) >= 1 and any(
+        is_malicious_url(url) for url in tweet.urls
+    )
+
+
+def rule_friend_infiltrator(tweet: Tweet, ctx: StreamContext) -> bool:
+    """10) friend infiltrators: cold-mention strangers with spam bait."""
+    if not tweet.mentions:
+        return False
+    sender = tweet.user.user_id
+    cold = all(
+        (sender, m.user_id) not in ctx.known_pairs for m in tweet.mentions
+    )
+    baity = len(_words(tweet) & (_MONEY | _PROMO | _ADULT | _DECEPTION)) >= 2
+    return cold and baity
+
+
+def rule_offensive(tweet: Tweet, ctx: StreamContext) -> bool:
+    """11) includes sensitive or offensive contents."""
+    return len(_words(tweet) & _OFFENSIVE) >= 1
+
+
+SPAM_RULES = (
+    rule_malicious_url,
+    rule_repetitive,
+    rule_deceptive,
+    rule_pertinence,
+    rule_meaningless,
+    rule_money,
+    rule_adult,
+    rule_bot_automation,
+    rule_malicious_promoter,
+    rule_friend_infiltrator,
+    rule_offensive,
+)
+
+
+def matching_rules(tweet: Tweet, ctx: StreamContext) -> list[str]:
+    """Names of all spam rules a tweet triggers."""
+    return [rule.__name__ for rule in SPAM_RULES if rule(tweet, ctx)]
+
+
+def is_rule_spam(tweet: Tweet, ctx: StreamContext) -> bool:
+    """True if any of the 11 conditions fires."""
+    return any(rule(tweet, ctx) for rule in SPAM_RULES)
+
+
+# --- Non-spam seeds and the affiliation-symbol rule -------------------------
+
+
+def is_seed_account(tweet: Tweet) -> bool:
+    """Seed non-spam: verified institutional accounts.
+
+    The paper whitelists governments, famous companies, organizations
+    and well-known persons; the platform's verified badge is the
+    available proxy.
+    """
+    return tweet.user.verified
+
+
+def symbol_affiliation_spam(
+    tweets: list[Tweet], name_groups: list[list[int]]
+) -> set[int]:
+    """Affiliation-symbol rule over screen-name pattern groups.
+
+    A tweet is spam if it carries an affiliation symbol *and* comes
+    from a group of same-affiliation users (same registration pattern)
+    in which the majority of tweets carry the symbol too.
+
+    Args:
+        tweets: candidate tweets.
+        name_groups: groups of indices into ``tweets`` whose authors
+            share a screen-name pattern.
+
+    Returns:
+        Indices of tweets labeled spam by this rule.
+    """
+    flagged: set[int] = set()
+    for group in name_groups:
+        with_symbol = [
+            idx
+            for idx in group
+            if any(sym in tweets[idx].text for sym in AFFILIATION_SYMBOLS)
+        ]
+        if len(with_symbol) * 2 > len(group):
+            flagged.update(with_symbol)
+    return flagged

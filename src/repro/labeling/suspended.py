@@ -1,0 +1,31 @@
+"""Suspended-account labeling (Section IV-B).
+
+Twitter suspends accounts violating its rules; the flagged accounts
+seed the ground-truth labels.  The checker batches account ids through
+the REST ``users/lookup`` endpoint — exactly how bulk suspension
+checks are done against the real platform: ids missing from the
+response are suspended (or deleted).
+
+A suspended account is *not necessarily* a spammer (the paper notes
+this; its manual checking filters survivors), so downstream stages
+treat these as candidate labels.
+"""
+
+from __future__ import annotations
+
+from ..twittersim.api.rest import RestClient
+
+
+def find_suspended(rest: RestClient, user_ids: list[int]) -> set[int]:
+    """Ids from ``user_ids`` that no longer resolve (suspended).
+
+    Ids are deduplicated and checked in ``users/lookup`` batches.
+    """
+    unique = list(dict.fromkeys(user_ids))
+    suspended: set[int] = set()
+    batch_size = RestClient.LOOKUP_BATCH
+    for start in range(0, len(unique), batch_size):
+        batch = unique[start : start + batch_size]
+        alive = {profile.user_id for profile in rest.lookup_users(batch)}
+        suspended.update(uid for uid in batch if uid not in alive)
+    return suspended

@@ -1,0 +1,62 @@
+"""From-scratch machine-learning library for the spam detector.
+
+Implements the five classifier families the paper compares in Table IV
+(Decision Tree, kNN, SVM, Extreme Gradient Boosting, Random Forest)
+plus metrics, scalers, and stratified cross-validation — all on numpy,
+with no scikit-learn dependency.
+"""
+
+from .base import Classifier, NotFittedError, check_X, check_X_y
+from .boosting import GradientBoostingClassifier
+from .dummy import MajorityClassifier
+from .forest import RandomForestClassifier
+from .knn import KNeighborsClassifier
+from .metrics import (
+    ClassificationReport,
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    false_positive_rate,
+    precision,
+    recall,
+)
+from .model_selection import (
+    CrossValidationResult,
+    KFold,
+    StratifiedKFold,
+    cross_validate,
+    train_test_split,
+)
+from .preprocessing import MinMaxScaler, StandardScaler
+from .svm import LinearSVC
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor, quantile_bin
+
+__all__ = [
+    "Classifier",
+    "ClassificationReport",
+    "CrossValidationResult",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "GradientBoostingClassifier",
+    "KFold",
+    "KNeighborsClassifier",
+    "LinearSVC",
+    "MajorityClassifier",
+    "MinMaxScaler",
+    "NotFittedError",
+    "RandomForestClassifier",
+    "StandardScaler",
+    "StratifiedKFold",
+    "accuracy",
+    "check_X",
+    "check_X_y",
+    "classification_report",
+    "confusion_matrix",
+    "cross_validate",
+    "f1_score",
+    "false_positive_rate",
+    "precision",
+    "recall",
+    "train_test_split",
+]

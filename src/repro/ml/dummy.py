@@ -1,0 +1,35 @@
+"""Trivial baseline classifiers for sanity checks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import check_X, check_X_y, require_fitted
+
+
+class MajorityClassifier:
+    """Always predicts the majority training class."""
+
+    def __init__(self) -> None:
+        self.majority_: int | None = None
+        self.positive_rate_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MajorityClassifier":
+        """Memorize the majority label; returns self."""
+        __, y = check_X_y(X, y)
+        self.positive_rate_ = float(y.mean())
+        self.majority_ = int(self.positive_rate_ >= 0.5)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Constant majority-label predictions."""
+        require_fitted(self, "majority_")
+        X = check_X(X)
+        return np.full(X.shape[0], self.majority_, dtype=np.int64)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Constant class-frequency probabilities."""
+        require_fitted(self, "majority_")
+        X = check_X(X)
+        p1 = np.full(X.shape[0], self.positive_rate_)
+        return np.column_stack([1.0 - p1, p1])

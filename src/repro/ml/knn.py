@@ -1,0 +1,67 @@
+"""k-Nearest-Neighbors classifier (brute force, chunked).
+
+Distances are computed in chunks against the stored training matrix so
+memory stays bounded on the paper-scale ground-truth dataset.  Features
+should be standardized first (see
+:class:`repro.ml.preprocessing.StandardScaler`) since the 58 features
+span wildly different ranges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import check_X, check_X_y, require_fitted
+
+
+class KNeighborsClassifier:
+    """Majority vote over the k nearest training points (euclidean).
+
+    Args:
+        n_neighbors: vote pool size.
+        chunk_size: query rows per distance block (memory control).
+    """
+
+    def __init__(self, n_neighbors: int = 5, chunk_size: int = 512) -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self.n_neighbors = n_neighbors
+        self.chunk_size = chunk_size
+        self.X_: np.ndarray | None = None
+        self.y_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        """Store the training set; returns self."""
+        X, y = check_X_y(X, y)
+        if self.n_neighbors > X.shape[0]:
+            raise ValueError(
+                f"n_neighbors={self.n_neighbors} > {X.shape[0]} samples"
+            )
+        self.X_ = X
+        self.y_ = y.astype(np.float64)
+        self._sq_norms = np.einsum("ij,ij->i", X, X)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """(n, 2) probabilities: neighbor vote fractions."""
+        require_fitted(self, "X_")
+        X = check_X(X, self.X_.shape[1])
+        k = self.n_neighbors
+        p1 = np.empty(X.shape[0])
+        for start in range(0, X.shape[0], self.chunk_size):
+            block = X[start : start + self.chunk_size]
+            # ||a - b||^2 = ||a||^2 - 2 a.b + ||b||^2 ; ||a||^2 constant
+            # per query row, irrelevant to the argpartition order only
+            # if kept -- keep it for correct distances.
+            d2 = (
+                np.einsum("ij,ij->i", block, block)[:, None]
+                - 2.0 * block @ self.X_.T
+                + self._sq_norms[None, :]
+            )
+            neighbor_idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            p1[start : start + len(block)] = self.y_[neighbor_idx].mean(axis=1)
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority-vote labels (ties broken toward spam)."""
+        return (self.predict_proba(X)[:, 1] >= 0.5).astype(np.int64)

@@ -1,0 +1,97 @@
+"""Classification metrics reported in Table IV.
+
+The paper evaluates classifiers by accuracy, precision, recall, and
+false-positive rate.  Conventions: the positive class is 1 (spam);
+``false_positive_rate`` = FP / (FP + TN), the fraction of genuine
+content flagged as spam — the paper's headline for RF is 0.002.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """2x2 confusion matrix [[TN, FP], [FN, TP]].
+
+    Raises:
+        ValueError: on length mismatch or empty input.
+    """
+    y_true = np.asarray(y_true).astype(np.int64)
+    y_pred = np.asarray(y_pred).astype(np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if y_true.size == 0:
+        raise ValueError("cannot compute metrics on empty input")
+    tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+    fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+    fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    return np.array([[tn, fp], [fn, tp]])
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    matrix = confusion_matrix(y_true, y_pred)
+    return float((matrix[0, 0] + matrix[1, 1]) / matrix.sum())
+
+
+def precision(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """TP / (TP + FP); 0.0 when nothing was predicted positive."""
+    matrix = confusion_matrix(y_true, y_pred)
+    denominator = matrix[1, 1] + matrix[0, 1]
+    return float(matrix[1, 1] / denominator) if denominator else 0.0
+
+
+def recall(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """TP / (TP + FN); 0.0 when there are no positives."""
+    matrix = confusion_matrix(y_true, y_pred)
+    denominator = matrix[1, 1] + matrix[1, 0]
+    return float(matrix[1, 1] / denominator) if denominator else 0.0
+
+
+def false_positive_rate(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """FP / (FP + TN); 0.0 when there are no negatives."""
+    matrix = confusion_matrix(y_true, y_pred)
+    denominator = matrix[0, 1] + matrix[0, 0]
+    return float(matrix[0, 1] / denominator) if denominator else 0.0
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(y_true, y_pred)
+    r = recall(y_true, y_pred)
+    return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """The four Table-IV metrics for one classifier."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    false_positive_rate: float
+
+    def as_row(self) -> tuple[float, float, float, float]:
+        """(accuracy, precision, recall, fpr) in Table IV column order."""
+        return (
+            self.accuracy,
+            self.precision,
+            self.recall,
+            self.false_positive_rate,
+        )
+
+
+def classification_report(
+    y_true: np.ndarray, y_pred: np.ndarray
+) -> ClassificationReport:
+    """Compute all four Table-IV metrics at once."""
+    return ClassificationReport(
+        accuracy=accuracy(y_true, y_pred),
+        precision=precision(y_true, y_pred),
+        recall=recall(y_true, y_pred),
+        false_positive_rate=false_positive_rate(y_true, y_pred),
+    )

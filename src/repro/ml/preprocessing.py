@@ -1,0 +1,61 @@
+"""Feature scaling utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import check_X, require_fitted
+
+
+class StandardScaler:
+    """Per-feature z-score normalization (constant features map to 0)."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        """Learn per-column mean and standard deviation; returns self."""
+        X = check_X(X)
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the learned normalization."""
+        require_fitted(self, "mean_")
+        X = check_X(X, len(self.mean_))
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(X).transform(X)
+
+
+class MinMaxScaler:
+    """Per-feature rescaling to [0, 1] (constant features map to 0)."""
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        """Learn per-column min and range; returns self."""
+        X = check_X(X)
+        self.min_ = X.min(axis=0)
+        spread = X.max(axis=0) - self.min_
+        spread[spread == 0.0] = 1.0
+        self.range_ = spread
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the learned rescaling."""
+        require_fitted(self, "min_")
+        X = check_X(X, len(self.min_))
+        return (X - self.min_) / self.range_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(X).transform(X)

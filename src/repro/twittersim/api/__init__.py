@@ -1,0 +1,11 @@
+"""Developer-facing APIs of the synthetic platform (tweepy analogues)."""
+
+from .rest import RestClient
+from .streaming import FilteredStream, StreamListener, StreamingClient
+
+__all__ = [
+    "FilteredStream",
+    "RestClient",
+    "StreamListener",
+    "StreamingClient",
+]

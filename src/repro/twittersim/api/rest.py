@@ -1,0 +1,214 @@
+"""RESTful API: user lookup, timelines, search, profile images.
+
+Mirrors the read-only REST endpoints the paper's pipeline needs, with
+Twitter-style per-endpoint rate limits (requests per 15-minute window,
+measured in *simulation* time).  Every read returns public data only;
+suspension status surfaces exactly as on the real platform — a lookup
+of a suspended account fails with :class:`UserSuspendedError`, which is
+the signal the ground-truth labeler's "suspended account" method uses.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine import TwitterEngine
+from ..entities import Tweet, UserProfile
+from ..errors import RateLimitError, UserNotFoundError, UserSuspendedError
+
+#: Length of a rate-limit window, in simulation seconds.
+WINDOW_SECONDS = 15 * 60
+
+
+@dataclass(frozen=True)
+class EndpointLimit:
+    """Rate limit of one endpoint: max requests per 15-minute window."""
+
+    name: str
+    max_requests: int
+
+
+class _RateLimiter:
+    """Tracks per-endpoint request budgets over sliding windows."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._enabled = enabled
+        self._window_start: dict[str, float] = {}
+        self._used: dict[str, int] = defaultdict(int)
+
+    def check(self, limit: EndpointLimit, now: float) -> None:
+        if not self._enabled:
+            return
+        start = self._window_start.get(limit.name)
+        if start is None or now - start >= WINDOW_SECONDS:
+            self._window_start[limit.name] = now
+            self._used[limit.name] = 0
+            start = now
+        if self._used[limit.name] >= limit.max_requests:
+            raise RateLimitError(
+                f"rate limit exceeded on {limit.name}",
+                reset_at=start + WINDOW_SECONDS,
+            )
+        self._used[limit.name] += 1
+
+
+class RestClient:
+    """Read-only REST client over the synthetic platform.
+
+    Args:
+        engine: the platform engine to read from.
+        enforce_rate_limits: disable in bulk experiments where the
+            caller batches reads far beyond what a 15-minute window
+            models meaningfully (the paper ran multiple API keys).
+    """
+
+    USERS_LOOKUP = EndpointLimit("users/lookup", 900)
+    USERS_SHOW = EndpointLimit("users/show", 900)
+    SEARCH_TWEETS = EndpointLimit("search/tweets", 450)
+    USER_TIMELINE = EndpointLimit("statuses/user_timeline", 1500)
+    USERS_SAMPLE = EndpointLimit("users/sample", 900)
+
+    #: Max ids per ``lookup_users`` call (Twitter allows 100).
+    LOOKUP_BATCH = 100
+
+    def __init__(
+        self, engine: TwitterEngine, enforce_rate_limits: bool = False
+    ) -> None:
+        self._engine = engine
+        self._limiter = _RateLimiter(enabled=enforce_rate_limits)
+        self._rng = np.random.default_rng(
+            engine.population.config.seed + 0x5EED
+        )
+
+    # ------------------------------------------------------------------
+
+    def get_user(self, user_id: int) -> UserProfile:
+        """Fetch one user's public profile.
+
+        Raises:
+            UserNotFoundError: unknown id.
+            UserSuspendedError: the account is suspended.
+            RateLimitError: the users/show window is exhausted.
+        """
+        self._limiter.check(self.USERS_SHOW, self._engine.clock.now)
+        account = self._engine.population.accounts.get(user_id)
+        if account is None:
+            raise UserNotFoundError(f"no user with id {user_id}")
+        if account.suspended:
+            raise UserSuspendedError(f"user {user_id} is suspended")
+        return account.snapshot()
+
+    def lookup_users(self, user_ids: list[int]) -> list[UserProfile]:
+        """Batch profile lookup; suspended/unknown ids are dropped.
+
+        Mirrors Twitter's ``users/lookup``: the response simply omits
+        accounts that no longer resolve, which is how bulk suspension
+        checks are implemented in practice.
+
+        Raises:
+            ValueError: if more than ``LOOKUP_BATCH`` ids are passed.
+        """
+        if len(user_ids) > self.LOOKUP_BATCH:
+            raise ValueError(
+                f"lookup_users accepts at most {self.LOOKUP_BATCH} ids"
+            )
+        self._limiter.check(self.USERS_LOOKUP, self._engine.clock.now)
+        profiles = []
+        for user_id in user_ids:
+            account = self._engine.population.accounts.get(user_id)
+            if account is not None and not account.suspended:
+                profiles.append(account.snapshot())
+        return profiles
+
+    def is_suspended(self, user_id: int) -> bool:
+        """True if a known account is currently suspended.
+
+        Raises:
+            UserNotFoundError: unknown id.
+        """
+        account = self._engine.population.accounts.get(user_id)
+        if account is None:
+            raise UserNotFoundError(f"no user with id {user_id}")
+        return account.suspended
+
+    def sample_user_ids(self, n: int) -> list[int]:
+        """A uniform random sample of live account ids.
+
+        This models candidate discovery from the public sample stream:
+        the pseudo-honeypot selection layer screens these candidates
+        against its attribute criteria.
+        """
+        self._limiter.check(self.USERS_SAMPLE, self._engine.clock.now)
+        live = self._engine.population.live_ids()
+        if n >= len(live):
+            return list(live)
+        picks = self._rng.choice(len(live), size=n, replace=False)
+        return [live[int(i)] for i in picks]
+
+    def user_timeline(self, user_id: int) -> list[Tweet]:
+        """The account's most recent tweets (newest last).
+
+        Raises:
+            UserNotFoundError: unknown id.
+            UserSuspendedError: the account is suspended.
+        """
+        self._limiter.check(self.USER_TIMELINE, self._engine.clock.now)
+        account = self._engine.population.accounts.get(user_id)
+        if account is None:
+            raise UserNotFoundError(f"no user with id {user_id}")
+        if account.suspended:
+            raise UserSuspendedError(f"user {user_id} is suspended")
+        return self._engine.user_timeline(user_id)
+
+    def search_recent(
+        self,
+        hashtag: str | None = None,
+        topic: str | None = None,
+        limit: int = 500,
+    ) -> list[Tweet]:
+        """Search the recent-tweet index by hashtag or topic.
+
+        Returns the newest matching tweets first, up to ``limit``.
+        """
+        self._limiter.check(self.SEARCH_TWEETS, self._engine.clock.now)
+        matches: list[Tweet] = []
+        for tweet in reversed(list(self._engine.recent_tweets())):
+            if hashtag is not None and hashtag not in tweet.hashtags:
+                continue
+            if topic is not None and tweet.topic != topic:
+                continue
+            matches.append(tweet)
+            if len(matches) >= limit:
+                break
+        return matches
+
+    def recent_sample(self, limit: int = 20_000) -> list[Tweet]:
+        """The newest ``limit`` tweets from the public sample stream.
+
+        One bulk read the selection layer indexes locally (hashtag ->
+        authors, topic -> authors), instead of issuing one search per
+        hashtag — the same pattern a real deployment uses to stay
+        inside search rate limits.
+        """
+        self._limiter.check(self.SEARCH_TWEETS, self._engine.clock.now)
+        index = list(self._engine.recent_tweets())
+        return index[-limit:]
+
+    def get_profile_image(self, image_id: int) -> np.ndarray:
+        """Fetch profile-image pixels (public avatar download).
+
+        Raises:
+            KeyError: unknown image id.
+        """
+        return self._engine.population.images.get(image_id)
+
+    def trending_sets(self) -> dict[str, set[str]]:
+        """Current trending-up / trending-down / popular topic sets.
+
+        Substitutes the hashtag-analytics service [9] the paper reads
+        trend labels from.
+        """
+        return self._engine.trending_sets()

@@ -1,0 +1,145 @@
+"""Streaming API: real-time filtered tweet delivery.
+
+Mirrors the tweepy Streaming API surface the paper's implementation
+uses (Section V-A): a filter is a list of track terms of the form
+``@screen_name``; the stream delivers every public tweet *crossing*
+those accounts — tweets the account posts, and tweets that @-mention
+it — in real time, without any visible interaction with the account.
+That invisibility is what makes the pseudo-honeypot transparent to its
+parasitic bodies.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..engine import TwitterEngine
+from ..entities import Tweet
+from ..errors import (
+    FilterLimitError,
+    InvalidFilterError,
+    StreamDisconnectedError,
+)
+
+
+class StreamListener(Protocol):
+    """Receiver of matched tweets (tweepy ``StreamListener`` analogue)."""
+
+    def on_tweet(self, tweet: Tweet) -> None:
+        """Called once per matched tweet, in timestamp order."""
+
+
+class _BufferListener:
+    """Default listener that simply buffers matched tweets."""
+
+    def __init__(self) -> None:
+        self.tweets: list[Tweet] = []
+
+    def on_tweet(self, tweet: Tweet) -> None:
+        self.tweets.append(tweet)
+
+
+def parse_track_term(term: str) -> str:
+    """Validate an ``@screen_name`` track term, returning the name.
+
+    Raises:
+        InvalidFilterError: if the term is not of the ``@name`` form.
+    """
+    if not term.startswith("@") or len(term) < 2:
+        raise InvalidFilterError(
+            f"track term {term!r} must be of the form '@screen_name'"
+        )
+    name = term[1:]
+    if any(ch.isspace() for ch in name):
+        raise InvalidFilterError(f"track term {term!r} contains whitespace")
+    return name
+
+
+class FilteredStream:
+    """A live filtered stream over the platform firehose."""
+
+    def __init__(
+        self,
+        engine: TwitterEngine,
+        tracked_names: set[str],
+        listener: StreamListener,
+    ) -> None:
+        self._engine = engine
+        self._tracked = tracked_names
+        self.listener = listener
+        self._connected = True
+        self.matched_count = 0
+        engine.subscribe(self._on_firehose_tweet)
+
+    @property
+    def connected(self) -> bool:
+        """Whether the stream is still attached to the firehose."""
+        return self._connected
+
+    @property
+    def tracked_names(self) -> frozenset[str]:
+        """Screen names currently tracked by this stream."""
+        return frozenset(self._tracked)
+
+    def update_filter(self, track: list[str]) -> None:
+        """Replace the track list (hourly pseudo-honeypot switching).
+
+        Raises:
+            StreamDisconnectedError: if the stream was disconnected.
+        """
+        if not self._connected:
+            raise StreamDisconnectedError("cannot update a closed stream")
+        self._tracked = {parse_track_term(term) for term in track}
+
+    def disconnect(self) -> None:
+        """Detach from the firehose; further matches stop immediately."""
+        if self._connected:
+            self._engine.unsubscribe(self._on_firehose_tweet)
+            self._connected = False
+
+    def _on_firehose_tweet(self, tweet: Tweet) -> None:
+        if self._matches(tweet):
+            self.matched_count += 1
+            self.listener.on_tweet(tweet)
+
+    def _matches(self, tweet: Tweet) -> bool:
+        if tweet.user.screen_name in self._tracked:
+            return True
+        return any(m.screen_name in self._tracked for m in tweet.mentions)
+
+
+class StreamingClient:
+    """Factory for filtered streams (tweepy ``Stream`` analogue)."""
+
+    #: Twitter's filter endpoint caps tracked entities; we mirror that.
+    MAX_TRACK_TERMS = 5000
+
+    def __init__(self, engine: TwitterEngine) -> None:
+        self._engine = engine
+
+    def filter(
+        self,
+        track: list[str],
+        listener: StreamListener | None = None,
+    ) -> FilteredStream:
+        """Open a filtered stream on ``@screen_name`` track terms.
+
+        Args:
+            track: track terms, each ``@screen_name``.
+            listener: receiver of matched tweets; a buffering listener
+                is created when omitted (read it via
+                ``stream.listener.tweets``).
+
+        Raises:
+            FilterLimitError: if more than ``MAX_TRACK_TERMS`` terms.
+            InvalidFilterError: if a term is malformed.
+        """
+        if len(track) > self.MAX_TRACK_TERMS:
+            raise FilterLimitError(
+                f"{len(track)} track terms exceed the limit of "
+                f"{self.MAX_TRACK_TERMS}"
+            )
+        names = {parse_track_term(term) for term in track}
+        return FilteredStream(
+            self._engine, names, listener or _BufferListener()
+        )

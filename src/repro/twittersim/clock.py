@@ -1,0 +1,77 @@
+"""Simulation clock.
+
+All platform activity is timestamped with a single monotonically
+increasing simulation time measured in *seconds*.  The pseudo-honeypot
+system thinks in *hours* (nodes are re-selected every hour; PGE is
+spammers per node per hour), so the clock exposes hour arithmetic too.
+
+The epoch is arbitrary; by convention hour 0 starts at t=0.  Account
+creation dates may be negative (accounts that pre-date the simulation).
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_HOUR = 3600
+SECONDS_PER_DAY = 24 * SECONDS_PER_HOUR
+
+
+class SimClock:
+    """A monotonically advancing simulation clock.
+
+    The clock refuses to move backwards: the engine, streaming API and
+    suspension process all rely on event timestamps being non-decreasing.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def hour(self) -> int:
+        """Index of the current simulation hour (floor of now / 3600)."""
+        return int(self._now // SECONDS_PER_HOUR)
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` and return the new time.
+
+        Raises:
+            ValueError: if ``seconds`` is negative.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative {seconds!r}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to an absolute ``timestamp``.
+
+        Raises:
+            ValueError: if ``timestamp`` is in the past.
+        """
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock backwards from {self._now} to {timestamp}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def advance_hours(self, hours: float) -> float:
+        """Move the clock forward by ``hours`` hours."""
+        return self.advance(hours * SECONDS_PER_HOUR)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.1f}s, hour={self.hour})"
+
+
+def hours(n: float) -> float:
+    """Convert hours to seconds."""
+    return n * SECONDS_PER_HOUR
+
+
+def days(n: float) -> float:
+    """Convert days to seconds."""
+    return n * SECONDS_PER_DAY

@@ -1,0 +1,75 @@
+"""Spammer drift (Section IV-C / future work).
+
+The paper notes that spammers' tastes and content change over time
+("Twitter spammer drift"), which degrades deployed detectors trained on
+stale ground truth.  This module applies a drift event to the live
+population: every campaign rotates its content class and templates,
+slows its reaction times toward human-like latencies, and moves from
+automation clients to mainstream ones — the stealth adaptations the
+drift literature [6] documents.  Victim tastes can drift too, via a
+new :class:`TasteWeights` handed to the engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .campaigns import TasteWeights
+from .population import Population
+
+#: Cyclic rotation of content classes under drift.
+_CLASS_ROTATION = {
+    "money": "promo",
+    "promo": "deception",
+    "deception": "adult",
+    "adult": "money",
+}
+
+
+def apply_spammer_drift(
+    population: Population,
+    rng: np.random.Generator | None = None,
+    reaction_slowdown: float = 6.0,
+) -> int:
+    """Mutate all live campaigns to their post-drift behavior.
+
+    Every campaign rotates to a fresh content class with brand-new
+    templates, reacts ``reaction_slowdown``x slower (mimicking human
+    latency), and goes stealthy (mainstream client sources).  Lone
+    spammers rotate their personal templates likewise.
+
+    Returns:
+        Number of campaigns drifted.
+    """
+    rng = rng or population.rng
+    for campaign in population.campaigns:
+        campaign.keyword_class = _CLASS_ROTATION[campaign.keyword_class]
+        # Post-drift campaigns diversify heavily: many more templates
+        # per campaign, so content repetition — the strongest surviving
+        # signal — fades too.
+        base = int(rng.integers(2_000, 3_000))
+        campaign.template_ids = tuple(
+            base + i for i in range(8 * len(campaign.template_ids))
+        )
+        campaign.reaction_median_s *= reaction_slowdown
+        campaign.stealthy = True
+    for uid in list(population.lone_spammer_templates):
+        keyword_class, __ = population.lone_spammer_templates[uid]
+        population.lone_spammer_templates[uid] = (
+            _CLASS_ROTATION[keyword_class],
+            int(rng.integers(2_000, 3_000)),
+        )
+    return len(population.campaigns)
+
+
+def drifted_taste_weights(seed: int = 0) -> TasteWeights:
+    """A post-drift taste: spammers pivot toward audience size and
+    away from list activity (an example pivot; the pseudo-honeypot's
+    PGE feedback loop is what must track it)."""
+    return TasteWeights(
+        lists_per_day=1.2,
+        followers=3.4,
+        total_friends_followers=2.8,
+        listed_count=0.8,
+        friends=1.8,
+    )

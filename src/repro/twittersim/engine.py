@@ -1,0 +1,648 @@
+"""Event-driven platform engine.
+
+The engine advances the world one hour at a time.  Per hour it:
+
+1. delivers organic replies scheduled by earlier posts;
+2. emits organic posts (Poisson per-account, rate = statuses/day / 24),
+   with hashtags drawn from the author's interests and trending topics
+   from the platform topic process;
+3. schedules organic replies to fresh posts (reply mass grows with the
+   author's follower count; delays are log-normal, median ~20 min);
+4. emits spam mentions: campaign members, lone spammers, and
+   compromised relays pick victims among recently active accounts with
+   probability proportional to the :class:`SpammerTasteModel` score —
+   the hidden preference the pseudo-honeypot pipeline must rediscover;
+5. runs the platform suspension process (spammers are suspended at a
+   constant hazard; campaigns may respawn members);
+6. feeds every tweet, time-ordered, to registered subscribers (the
+   streaming API) and keeps rolling indexes for the REST API.
+
+All randomness flows from the population's single seeded generator, so
+whole-world runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from . import behavior
+from .campaigns import SpammerTasteModel
+from .clock import SECONDS_PER_HOUR, SimClock
+from .entities import AccountState, Mention, Tweet, TweetKind
+from .hashtags import HASHTAG_POOLS, HashtagCategory, category_of
+from .ids import SnowflakeGenerator
+from .population import AccountKind, Population
+from .text import TextGenerator
+from .trending import DEFAULT_TOPICS, TopicProcess, TrendingTracker
+
+TweetCallback = Callable[[Tweet], None]
+
+
+@dataclass(order=True)
+class _PendingReply:
+    """A scheduled organic reply, ordered by delivery time."""
+
+    deliver_at: float
+    replier_id: int = field(compare=False)
+    target: Tweet = field(compare=False)
+
+
+@dataclass
+class HourStats:
+    """Aggregate counters for one simulated hour."""
+
+    hour: int
+    organic_posts: int = 0
+    organic_replies: int = 0
+    spam_mentions: int = 0
+    suspensions: int = 0
+
+    @property
+    def total_tweets(self) -> int:
+        return self.organic_posts + self.organic_replies + self.spam_mentions
+
+
+class TwitterEngine:
+    """The synthetic platform: population + activity + moderation."""
+
+    #: How many hours a post stays eligible as a spam-victim anchor.
+    RECENT_POST_HOURS = 2
+
+    #: Candidate sample size per spam victim selection.
+    VICTIM_CANDIDATES = 48
+
+    #: Rolling recent-tweet index horizon for the REST search endpoint.
+    SEARCH_INDEX_HOURS = 24
+
+    #: Hard cap on the recent-tweet index size.
+    SEARCH_INDEX_CAP = 120_000
+
+    def __init__(
+        self,
+        population: Population,
+        taste: SpammerTasteModel | None = None,
+        topics: tuple[str, ...] = DEFAULT_TOPICS,
+    ) -> None:
+        self.population = population
+        self.clock = SimClock()
+        self.taste = taste or SpammerTasteModel()
+        self.rng = population.rng
+        self.snowflake = SnowflakeGenerator()
+        self.text: TextGenerator = population.text
+        self.topic_process = TopicProcess(topics, self.rng)
+        self.trending = TrendingTracker()
+        self._subscribers: list[TweetCallback] = []
+        self._pending_replies: list[_PendingReply] = []
+        self._recent_posts: deque[Tweet] = deque()
+        self._search_index: deque[Tweet] = deque(maxlen=self.SEARCH_INDEX_CAP)
+        self._timelines: dict[int, deque[Tweet]] = {}
+        self.hour_stats: list[HourStats] = []
+        # Trending classification sets, refreshed each hour.
+        self._trending_up: set[str] = set()
+        self._trending_down: set[str] = set()
+        self._popular: set[str] = set()
+        # Per-hour cache of taste profile scores: profiles drift slowly,
+        # so one evaluation per (account, hour) suffices for victim
+        # sampling, cutting the hot path by ~50x.
+        self._score_cache: dict[int, float] = {}
+        self._score_cache_hour = -1
+        # Burst-session state: users alternate active sessions and
+        # dormancy (Section III-D portability rationale).  Initialized
+        # at the stationary on-fraction.
+        config = population.config
+        self._session_on = (
+            self.rng.random(len(population.order))
+            < config.session_on_fraction
+        )
+        self._follow_index = None
+        if config.use_follow_graph:
+            from .graph import FollowGraphIndex, build_follow_graph
+
+            self._follow_index = FollowGraphIndex(
+                build_follow_graph(
+                    population,
+                    mean_out_degree=config.follow_graph_mean_degree,
+                    seed=config.seed + 0xF0110,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Subscription and read-side indexes
+    # ------------------------------------------------------------------
+
+    def subscribe(self, callback: TweetCallback) -> None:
+        """Register a firehose subscriber (used by the streaming API)."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: TweetCallback) -> None:
+        """Remove a firehose subscriber."""
+        self._subscribers.remove(callback)
+
+    def recent_tweets(self) -> Iterable[Tweet]:
+        """Recent tweets retained for the REST search endpoint."""
+        return iter(self._search_index)
+
+    def user_timeline(self, user_id: int) -> list[Tweet]:
+        """The last few tweets authored by a user (newest last)."""
+        return list(self._timelines.get(user_id, ()))
+
+    def trending_status_of(self, topic: str | None) -> str:
+        """Classify a topic as trending_up/trending_down/popular/none."""
+        if topic is None:
+            return "none"
+        if topic in self._trending_up:
+            return "trending_up"
+        if topic in self._trending_down:
+            return "trending_down"
+        if topic in self._popular:
+            return "popular"
+        return "none"
+
+    def trending_sets(self) -> dict[str, set[str]]:
+        """Current trending classification (copied)."""
+        return {
+            "trending_up": set(self._trending_up),
+            "trending_down": set(self._trending_down),
+            "popular": set(self._popular),
+        }
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run_hours(self, hours: int) -> list[HourStats]:
+        """Simulate ``hours`` consecutive hours; return their stats."""
+        return [self.run_hour() for __ in range(hours)]
+
+    def run_hour(self) -> HourStats:
+        """Simulate one hour of platform activity."""
+        hour = self.clock.hour
+        t0 = self.clock.now
+        t_end = t0 + SECONDS_PER_HOUR
+        stats = HourStats(hour=hour)
+        self._refresh_trending(hour)
+
+        emitted: list[Tweet] = []
+        emitted.extend(self._deliver_due_replies(t_end, stats))
+        posts = self._emit_organic_posts(t0, t_end, hour, stats)
+        emitted.extend(posts)
+        self._schedule_replies(posts)
+        # Replies scheduled for this very hour should still land in it.
+        emitted.extend(self._deliver_due_replies(t_end, stats))
+        emitted.extend(self._emit_spam(t0, t_end, stats))
+        self._grow_profile_counters()
+        stats.suspensions = self._run_suspension()
+
+        emitted.sort(key=lambda tw: tw.created_at)
+        for tweet in emitted:
+            self._index_tweet(tweet)
+            for callback in self._subscribers:
+                callback(tweet)
+
+        self._expire_recent_posts(t_end)
+        self.clock.advance_to(t_end)
+        self.hour_stats.append(stats)
+        return stats
+
+    # ------------------------------------------------------------------
+    # Hour phases
+    # ------------------------------------------------------------------
+
+    def _refresh_trending(self, hour: int) -> None:
+        if hour == 0:
+            return
+        self._trending_up = set(self.trending.top_trending_up(hour - 1))
+        self._trending_down = set(self.trending.top_trending_down(hour - 1))
+        popular = set(self.trending.top_popular(hour - 1))
+        # Popular is the residual class: stable high volume that is not
+        # currently surging or collapsing.
+        self._popular = popular - self._trending_up - self._trending_down
+
+    def _update_sessions(self) -> np.ndarray:
+        """Advance the per-user burst-session Markov chain one hour.
+
+        P(on->off) = 1/session_mean_hours; P(off->on) chosen so the
+        stationary on-fraction equals the configured value.  Effective
+        posting rate while on is scaled by 1/on_fraction, preserving
+        each user's long-run average rate.
+        """
+        pop = self.population
+        config = pop.config
+        n = len(pop.order)
+        if len(self._session_on) < n:
+            grown = np.zeros(n, dtype=bool)
+            grown[: len(self._session_on)] = self._session_on
+            grown[len(self._session_on):] = (
+                self.rng.random(n - len(self._session_on))
+                < config.session_on_fraction
+            )
+            self._session_on = grown
+        p_off = 1.0 / config.session_mean_hours
+        fraction = config.session_on_fraction
+        p_on = p_off * fraction / max(1.0 - fraction, 1e-9)
+        draws = self.rng.random(n)
+        self._session_on = np.where(
+            self._session_on, draws >= p_off, draws < p_on
+        )
+        always_on = pop.always_on
+        if len(always_on) < n:
+            padded = np.zeros(n, dtype=bool)
+            padded[: len(always_on)] = always_on
+            always_on = padded
+        return self._session_on | always_on
+
+    def _emit_organic_posts(
+        self, t0: float, t_end: float, hour: int, stats: HourStats
+    ) -> list[Tweet]:
+        pop = self.population
+        on = self._update_sessions()
+        scale = on.astype(np.float64) / pop.config.session_on_fraction
+        # always-on accounts post at their nominal rate, not scaled up.
+        if len(pop.always_on) == len(scale):
+            scale[pop.always_on] = 1.0
+        rates = pop.post_rate_per_day * scale / 24.0
+        counts = self.rng.poisson(rates)
+        posting = np.nonzero(counts)[0]
+        topic_weights = self.topic_process.weights_at(hour)
+        topic_probs = topic_weights / topic_weights.sum()
+        tweets: list[Tweet] = []
+        for idx in posting:
+            user_id = pop.order[idx]
+            account = pop.accounts[user_id]
+            if account.suspended:
+                continue
+            for __ in range(int(counts[idx])):
+                tweet = self._make_organic_post(
+                    account, t0, t_end, topic_probs
+                )
+                tweets.append(tweet)
+                self._recent_posts.append(tweet)
+                stats.organic_posts += 1
+        return tweets
+
+    def _make_organic_post(
+        self,
+        account: AccountState,
+        t0: float,
+        t_end: float,
+        topic_probs: np.ndarray,
+    ) -> Tweet:
+        rng = self.rng
+        pop = self.population
+        created_at = float(rng.uniform(t0, t_end))
+        interests = pop.interests.get(account.user_id, ())
+        hashtags: tuple[str, ...] = ()
+        if interests and rng.random() < 0.7:
+            category = interests[int(rng.integers(0, len(interests)))]
+            pool = HASHTAG_POOLS[category]
+            n_tags = 1 if rng.random() < 0.8 else 2
+            picks = rng.choice(len(pool), size=n_tags, replace=False)
+            hashtags = tuple(pool[int(j)] for j in picks)
+        topic: str | None = None
+        idx = pop.index_of[account.user_id]
+        affinity = (
+            pop.topic_affinity[idx] if idx < len(pop.topic_affinity) else 0.0
+        )
+        if rng.random() < affinity:
+            topic = self.topic_process.topics[
+                int(rng.choice(len(topic_probs), p=topic_probs))
+            ]
+            self.trending.record(topic, int(created_at // SECONDS_PER_HOUR))
+        kind = behavior.draw_kind(rng, spammer=False)
+        text = self.text.benign_text()
+        if topic is not None:
+            text = f"{text} #{topic}"
+        if hashtags:
+            text = text + " " + " ".join(f"#{h}" for h in hashtags)
+        return self._finalize_tweet(
+            account,
+            created_at,
+            text,
+            kind=kind,
+            spammer=False,
+            hashtags=hashtags,
+            topic=topic,
+        )
+
+    def _schedule_replies(self, posts: list[Tweet]) -> None:
+        rng = self.rng
+        pop = self.population
+        config = pop.config
+        normal_pool = pop.order[: config.n_normal_users]
+        for post in posts:
+            followers = post.user.followers_count
+            expected = config.reply_rate * (followers / (followers + 2000.0))
+            n_replies = int(rng.poisson(expected))
+            for __ in range(n_replies):
+                replier_id = None
+                if self._follow_index is not None:
+                    replier_id = self._follow_index.sample_follower(
+                        post.user.user_id, rng
+                    )
+                if replier_id is None:
+                    replier_id = normal_pool[
+                        int(rng.integers(0, len(normal_pool)))
+                    ]
+                if replier_id == post.user.user_id:
+                    continue
+                delay = behavior.organic_reply_delay(rng)
+                heapq.heappush(
+                    self._pending_replies,
+                    _PendingReply(post.created_at + delay, replier_id, post),
+                )
+
+    def _deliver_due_replies(
+        self, t_end: float, stats: HourStats
+    ) -> list[Tweet]:
+        pop = self.population
+        tweets: list[Tweet] = []
+        while self._pending_replies and (
+            self._pending_replies[0].deliver_at < t_end
+        ):
+            pending = heapq.heappop(self._pending_replies)
+            replier = pop.accounts.get(pending.replier_id)
+            if replier is None or replier.suspended:
+                continue
+            target = pending.target
+            text = (
+                self.text.benign_text(n_words=6)
+                + f" @{target.user.screen_name}"
+            )
+            tweet = self._finalize_tweet(
+                replier,
+                pending.deliver_at,
+                text,
+                kind=TweetKind.TWEET,
+                spammer=False,
+                mentions=(
+                    Mention(target.user.user_id, target.user.screen_name),
+                ),
+                in_reply_to=target,
+            )
+            tweets.append(tweet)
+            stats.organic_replies += 1
+        return tweets
+
+    # -- spam --------------------------------------------------------------
+
+    def _emit_spam(
+        self, t0: float, t_end: float, stats: HourStats
+    ) -> list[Tweet]:
+        pop = self.population
+        rng = self.rng
+        tweets: list[Tweet] = []
+        candidates = self._victim_candidates()
+        if not candidates:
+            return tweets
+        # Victim-selection distribution over ALL recent posters, built
+        # once per hour: exact taste-proportional sampling (a small
+        # random subsample would flatten the concentration the paper's
+        # skewed attribute results imply).
+        weights = np.array([self._victim_score(p) for p in candidates])
+        total_weight = float(weights.sum())
+        if total_weight <= 0:
+            return tweets
+        cumulative = np.cumsum(weights) / total_weight
+
+        for campaign in pop.campaigns:
+            for member_id in campaign.member_ids:
+                member = pop.accounts[member_id]
+                if member.suspended:
+                    continue
+                n_actions = int(rng.poisson(campaign.actions_per_hour))
+                for __ in range(n_actions):
+                    text_body = self.text.spam_text(
+                        campaign.keyword_class, campaign.pick_template(rng)
+                    )
+                    tweet = self._spam_mention(
+                        member,
+                        text_body,
+                        candidates,
+                        cumulative,
+                        t0,
+                        t_end,
+                        campaign.reaction_median_s,
+                        stealthy=campaign.stealthy,
+                    )
+                    if tweet is not None:
+                        tweets.append(tweet)
+                        stats.spam_mentions += 1
+
+        for lone_id, (keyword_class, template_id) in (
+            pop.lone_spammer_templates.items()
+        ):
+            lone = pop.accounts[lone_id]
+            if lone.suspended:
+                continue
+            n_actions = int(rng.poisson(pop.config.lone_actions_per_hour))
+            for __ in range(n_actions):
+                text_body = self.text.spam_text(keyword_class, template_id)
+                tweet = self._spam_mention(
+                    lone, text_body, candidates, cumulative, t0, t_end, 60.0
+                )
+                if tweet is not None:
+                    tweets.append(tweet)
+                    stats.spam_mentions += 1
+
+        for uid, kind in pop.truth.account_kind.items():
+            if kind is not AccountKind.COMPROMISED:
+                continue
+            relay = pop.accounts[uid]
+            if relay.suspended or rng.random() > 0.02:
+                continue
+            campaign_id = pop.truth.account_campaign.get(uid)
+            if campaign_id is None or campaign_id >= len(pop.campaigns):
+                continue
+            campaign = pop.campaigns[campaign_id]
+            text_body = self.text.spam_text(
+                campaign.keyword_class, campaign.pick_template(rng)
+            )
+            tweet = self._spam_mention(
+                relay, text_body, candidates, cumulative, t0, t_end, 300.0
+            )
+            if tweet is not None:
+                tweets.append(tweet)
+                stats.spam_mentions += 1
+
+        return tweets
+
+    def _victim_candidates(self) -> list[Tweet]:
+        """Latest recent post per distinct author.
+
+        Spammers pick a *victim* and react to their newest post, so an
+        account posting 50 times an hour is not 50 times more likely a
+        target than one posting once — deduplication keeps victim
+        selection driven by the taste model, not by raw post volume.
+        """
+        latest: dict[int, Tweet] = {}
+        for post in self._recent_posts:
+            latest[post.user.user_id] = post
+        return list(latest.values())
+
+    def _spam_mention(
+        self,
+        sender: AccountState,
+        text_body: str,
+        candidates: list[Tweet],
+        cumulative: np.ndarray,
+        t0: float,
+        t_end: float,
+        reaction_median_s: float,
+        stealthy: bool = False,
+    ) -> Tweet | None:
+        rng = self.rng
+        if not candidates:
+            return None
+        pick = int(np.searchsorted(cumulative, rng.random(), side="right"))
+        victim_post = candidates[min(pick, len(candidates) - 1)]
+        victim = victim_post.user
+        if victim.user_id == sender.user_id:
+            return None
+        delay = behavior.spam_reaction_delay(rng, reaction_median_s)
+        created_at = victim_post.created_at + delay
+        created_at = min(max(created_at, t0), t_end - 1e-3)
+        if created_at <= victim_post.created_at:
+            created_at = victim_post.created_at + 1.0
+        text = f"@{victim.screen_name} {text_body}"
+        return self._finalize_tweet(
+            sender,
+            created_at,
+            text,
+            kind=behavior.draw_kind(rng, spammer=True),
+            spammer=True,
+            stealthy=stealthy,
+            mentions=(Mention(victim.user_id, victim.screen_name),),
+            in_reply_to=victim_post,
+        )
+
+    def _victim_score(self, post: Tweet) -> float:
+        account = self.population.accounts.get(post.user.user_id)
+        if account is None or account.suspended:
+            return 0.0
+        if self._score_cache_hour != self.clock.hour:
+            self._score_cache.clear()
+            self._score_cache_hour = self.clock.hour
+        base = self._score_cache.get(account.user_id)
+        if base is None:
+            base = self.taste.profile_score(account, self.clock.now)
+            self._score_cache[account.user_id] = base
+        category: HashtagCategory | None = None
+        if post.hashtags:
+            category = category_of(post.hashtags[0])
+        trending_status = self.trending_status_of(post.topic)
+        # Profile taste concentrates (** concentration); posting context
+        # scales linearly.  Cubing the context too would let a mediocre
+        # account with one trending hashtag out-attract the accounts
+        # whose *profiles* match spammer tastes, inverting Table V.
+        return (
+            base ** self.taste.weights.concentration
+        ) * self.taste.context_multiplier(category, trending_status)
+
+    # -- shared tweet assembly ----------------------------------------------
+
+    def _finalize_tweet(
+        self,
+        sender: AccountState,
+        created_at: float,
+        text: str,
+        kind: TweetKind,
+        spammer: bool,
+        stealthy: bool = False,
+        hashtags: tuple[str, ...] = (),
+        mentions: tuple[Mention, ...] = (),
+        topic: str | None = None,
+        in_reply_to: Tweet | None = None,
+    ) -> Tweet:
+        urls = tuple(
+            token for token in text.split() if token.startswith("http")
+        )
+        sender.statuses_count += 1
+        sender.last_post_at = created_at
+        tweet = Tweet(
+            tweet_id=self.snowflake.next_id(created_at),
+            created_at=created_at,
+            user=sender.snapshot(),
+            text=text,
+            kind=kind,
+            source=behavior.draw_source(self.rng, spammer and not stealthy),
+            hashtags=hashtags,
+            mentions=mentions,
+            urls=urls,
+            topic=topic,
+            in_reply_to_tweet_id=(
+                in_reply_to.tweet_id if in_reply_to else None
+            ),
+            in_reply_to_created_at=(
+                in_reply_to.created_at if in_reply_to else None
+            ),
+        )
+        if spammer:
+            self.population.truth.spam_tweet_ids.add(tweet.tweet_id)
+        for mention in mentions:
+            mentioned = self.population.accounts.get(mention.user_id)
+            if mentioned is not None:
+                mentioned.last_mentioned_at = created_at
+        return tweet
+
+    # -- maintenance ---------------------------------------------------------
+
+    def _grow_profile_counters(self) -> None:
+        """Organic accounts slowly gain favourites (Poisson per hour)."""
+        pop = self.population
+        counts = self.rng.poisson(pop.fav_rate_per_day / 24.0)
+        for idx in np.nonzero(counts)[0]:
+            account = pop.accounts[pop.order[idx]]
+            account.favourites_count += int(counts[idx])
+
+    def _run_suspension(self) -> int:
+        pop = self.population
+        config = pop.config
+        rng = self.rng
+        suspended = 0
+        for uid in pop.order:
+            account = pop.accounts[uid]
+            if account.suspended:
+                continue
+            kind = pop.truth.account_kind[uid]
+            rate = (
+                config.spam_suspension_rate
+                if kind.is_spammer and kind is not AccountKind.COMPROMISED
+                else config.normal_suspension_rate
+            )
+            if rng.random() < rate:
+                account.suspended = True
+                suspended += 1
+                campaign_id = pop.truth.account_campaign.get(uid)
+                if (
+                    config.campaign_respawn
+                    and kind is AccountKind.CAMPAIGN_SPAMMER
+                    and campaign_id is not None
+                ):
+                    campaign = pop.campaigns[campaign_id]
+                    campaign.member_ids.remove(uid)
+                    pop.spawn_campaign_member(campaign, self.clock.now)
+        return suspended
+
+    def _index_tweet(self, tweet: Tweet) -> None:
+        self._search_index.append(tweet)
+        timeline = self._timelines.setdefault(
+            tweet.user.user_id, deque(maxlen=5)
+        )
+        timeline.append(tweet)
+
+    def _expire_recent_posts(self, now: float) -> None:
+        horizon = now - self.RECENT_POST_HOURS * SECONDS_PER_HOUR
+        while self._recent_posts and (
+            self._recent_posts[0].created_at < horizon
+        ):
+            self._recent_posts.popleft()
+        search_horizon = now - self.SEARCH_INDEX_HOURS * SECONDS_PER_HOUR
+        while self._search_index and (
+            self._search_index[0].created_at < search_horizon
+        ):
+            self._search_index.popleft()

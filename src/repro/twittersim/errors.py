@@ -1,0 +1,45 @@
+"""Exception hierarchy for the synthetic Twitter platform.
+
+The real system interacts with Twitter through tweepy, whose errors are
+surfaced as :class:`tweepy.TweepError` subclasses.  The simulator mirrors
+that structure so client code (the pseudo-honeypot monitor) exercises the
+same error-handling paths it would against the live API.
+"""
+
+from __future__ import annotations
+
+
+class TwitterSimError(Exception):
+    """Base class for all synthetic-platform errors."""
+
+
+class RateLimitError(TwitterSimError):
+    """Raised when a REST endpoint's rate-limit window is exhausted.
+
+    Attributes:
+        reset_at: simulation time (seconds) at which the window resets.
+    """
+
+    def __init__(self, message: str, reset_at: float) -> None:
+        super().__init__(message)
+        self.reset_at = reset_at
+
+
+class UserNotFoundError(TwitterSimError):
+    """Raised when a REST lookup references an unknown user id or name."""
+
+
+class UserSuspendedError(TwitterSimError):
+    """Raised when a REST lookup references a suspended account."""
+
+
+class StreamDisconnectedError(TwitterSimError):
+    """Raised when reading from a stream whose connection was closed."""
+
+
+class FilterLimitError(TwitterSimError):
+    """Raised when a streaming filter exceeds the platform's track limit."""
+
+
+class InvalidFilterError(TwitterSimError):
+    """Raised when a streaming filter expression cannot be parsed."""

@@ -1,0 +1,87 @@
+"""Hashtag taxonomy of the synthetic platform.
+
+The paper's hashtag-based attribute category (Table I, C2) groups
+hashtags into eight topical classes plus "no hashtag".  The simulator
+defines a fixed pool of hashtags per class; users have topical
+interests and draw hashtags from the matching pools, so selecting
+pseudo-honeypot nodes "possessing a hashtag" is well defined.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class HashtagCategory(enum.Enum):
+    """The eight topical hashtag classes of Table I (C2)."""
+
+    ENTERTAINMENT = "entertainment"
+    GENERAL = "general"
+    BUSINESS = "business"
+    TECH = "tech"
+    EDUCATION = "education"
+    ENVIRONMENT = "environment"
+    SOCIAL = "social"
+    ASTROLOGY = "astrology"
+
+
+#: "no hashtag" pseudo-attribute label used by the selection layer.
+NO_HASHTAG = "no_hashtag"
+
+#: Hashtag pools per category.  Ten or more tags per category so the
+#: "top 10 hashtags in each attribute" selection of Section V-A is
+#: meaningful.
+HASHTAG_POOLS: dict[HashtagCategory, tuple[str, ...]] = {
+    HashtagCategory.ENTERTAINMENT: (
+        "movies", "music", "netflix", "gaming", "celebrity", "tvshow",
+        "concert", "boxoffice", "streaming", "fandom", "awards", "trailer",
+    ),
+    HashtagCategory.GENERAL: (
+        "news", "life", "today", "photo", "love", "weekend",
+        "morning", "random", "thoughts", "daily", "update", "mood",
+    ),
+    HashtagCategory.BUSINESS: (
+        "startup", "marketing", "finance", "entrepreneur", "sales", "invest",
+        "economy", "smallbiz", "branding", "leadership", "stocks", "crypto",
+    ),
+    HashtagCategory.TECH: (
+        "ai", "coding", "cloud", "security", "bigdata", "opensource",
+        "devops", "mobiledev", "iot", "robotics", "webdev", "machinelearning",
+    ),
+    HashtagCategory.EDUCATION: (
+        "learning", "students", "teachers", "university", "stem", "study",
+        "scholarship", "edtech", "classroom", "research", "mooc", "homework",
+    ),
+    HashtagCategory.ENVIRONMENT: (
+        "climate", "sustainability", "recycle", "wildlife", "cleanenergy",
+        "ocean", "forest", "greenliving", "pollution", "conservation",
+        "solar", "earthday",
+    ),
+    HashtagCategory.SOCIAL: (
+        "community", "friends", "party", "followback", "selfie", "trending",
+        "viral", "follow", "share", "like4like", "socialmedia", "meetup",
+    ),
+    HashtagCategory.ASTROLOGY: (
+        "horoscope", "zodiac", "aries", "taurus", "gemini", "leo",
+        "virgo", "libra", "scorpio", "tarot", "fullmoon", "retrograde",
+    ),
+}
+
+#: Reverse index hashtag -> category.
+HASHTAG_CATEGORY: dict[str, HashtagCategory] = {
+    tag: category
+    for category, tags in HASHTAG_POOLS.items()
+    for tag in tags
+}
+
+
+def category_of(hashtag: str) -> HashtagCategory | None:
+    """Return the topical category of a hashtag, or None if unknown."""
+    return HASHTAG_CATEGORY.get(hashtag)
+
+
+def all_hashtags() -> tuple[str, ...]:
+    """Every hashtag known to the platform, in stable order."""
+    return tuple(
+        tag for category in HashtagCategory for tag in HASHTAG_POOLS[category]
+    )

@@ -1,0 +1,199 @@
+"""Synthetic tweet text, screen names, and profile descriptions.
+
+The labeling pipeline (Section IV-B) and content features (Section
+IV-A) depend on concrete textual properties: URLs, emoji, digit counts,
+repetitive campaign templates, automatic naming patterns, spam keyword
+classes, and near-duplicate descriptions.  This module generates text
+that actually exhibits those properties, so dHash/MinHash/Σ-sequence
+clustering and the 11 rule-based policies operate on realistic input
+rather than opaque tokens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Word material
+# ---------------------------------------------------------------------------
+
+BENIGN_WORDS: tuple[str, ...] = (
+    "great", "day", "coffee", "project", "meeting", "game", "team", "city",
+    "weather", "weekend", "family", "dinner", "book", "reading", "travel",
+    "photo", "sunset", "morning", "running", "music", "movie", "friends",
+    "ideas", "work", "launch", "update", "release", "garden", "recipe",
+    "match", "season", "goals", "practice", "studio", "design", "paper",
+    "class", "lecture", "review", "podcast", "episode", "festival", "beach",
+    "mountain", "train", "flight", "market", "coding", "python", "data",
+)
+
+SPAM_MONEY_WORDS: tuple[str, ...] = (
+    "free", "cash", "earn", "money", "fast", "easy", "income", "rich",
+    "giveaway", "winner", "prize", "bonus", "instant", "guaranteed",
+)
+
+SPAM_ADULT_WORDS: tuple[str, ...] = (
+    "adult", "hot", "singles", "dating", "webcam", "explicit", "xxx",
+)
+
+SPAM_PROMO_WORDS: tuple[str, ...] = (
+    "followers", "promo", "discount", "deal", "cheap", "buy", "click",
+    "limited", "offer", "sale", "boost", "unlock",
+)
+
+SPAM_DECEPTION_WORDS: tuple[str, ...] = (
+    "verify", "account", "suspended", "urgent", "confirm", "password",
+    "security", "alert", "bank", "refund",
+)
+
+EMOJI: tuple[str, ...] = ("😀", "🔥", "🎉", "💰", "❤️", "👍", "😂", "✨", "🚀", "💯")
+
+STOP_WORDS: frozenset[str] = frozenset(
+    "a an the and or but if of to in on at for with is are was were be been "
+    "i you he she it we they this that my your our其".split()
+)
+
+#: Keyword classes the rule-based labeler (Section IV-B) matches on.
+SPAM_KEYWORD_CLASSES: dict[str, tuple[str, ...]] = {
+    "money": SPAM_MONEY_WORDS,
+    "adult": SPAM_ADULT_WORDS,
+    "promo": SPAM_PROMO_WORDS,
+    "deception": SPAM_DECEPTION_WORDS,
+}
+
+#: Domains considered malicious by the URL blacklist the paper's rule 1
+#: ("has malicious URL") presupposes.
+MALICIOUS_DOMAINS: tuple[str, ...] = (
+    "free-cash.example", "win-big.example", "hot-dates.example",
+    "cheap-meds.example", "click4gold.example", "getfollowers.example",
+)
+
+BENIGN_DOMAINS: tuple[str, ...] = (
+    "news.example", "blog.example", "github.example", "photos.example",
+    "events.example", "recipes.example",
+)
+
+
+def make_url(domain: str, rng: np.random.Generator) -> str:
+    """Build a shortened-looking URL on the given domain."""
+    token = "".join(
+        rng.choice(list("abcdefghijklmnopqrstuvwxyz0123456789"), size=7)
+    )
+    return f"http://{domain}/{token}"
+
+
+def is_malicious_url(url: str) -> bool:
+    """Blacklist check used by rule-based labeling (rule 1)."""
+    return any(domain in url for domain in MALICIOUS_DOMAINS)
+
+
+# ---------------------------------------------------------------------------
+# Tweet text generation
+# ---------------------------------------------------------------------------
+
+
+class TextGenerator:
+    """Deterministic generator for tweet texts and profile strings."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def benign_text(
+        self,
+        n_words: int | None = None,
+        emoji_prob: float = 0.25,
+        digit_prob: float = 0.2,
+    ) -> str:
+        """A benign tweet body: common words, occasional emoji/digits."""
+        rng = self._rng
+        if n_words is None:
+            n_words = int(rng.integers(4, 15))
+        words = list(rng.choice(BENIGN_WORDS, size=n_words))
+        if rng.random() < digit_prob:
+            words.append(str(rng.integers(1, 1000)))
+        if rng.random() < emoji_prob:
+            words.append(str(rng.choice(EMOJI)))
+        return " ".join(words)
+
+    def spam_text(self, keyword_class: str, template_id: int) -> str:
+        """A spam tweet body from a campaign template.
+
+        Campaign texts are intentionally repetitive: the same
+        (keyword_class, template_id) pair always yields the same slogan
+        prefix, so near-duplicate clustering has real duplicates to find.
+        A random URL and a random digit suffix vary per call.
+        """
+        rng = self._rng
+        keywords = SPAM_KEYWORD_CLASSES[keyword_class]
+        # Stable slogan for the template: seed word choice on template_id.
+        slot = template_id % len(keywords)
+        slogan_words = [
+            keywords[slot],
+            keywords[(slot + 3) % len(keywords)],
+            "now",
+            keywords[(slot + 5) % len(keywords)],
+            "today",
+        ]
+        url = make_url(str(rng.choice(MALICIOUS_DOMAINS)), rng)
+        emoji = EMOJI[3] if keyword_class == "money" else str(rng.choice(EMOJI))
+        suffix = str(rng.integers(10, 99))
+        return " ".join(slogan_words) + f" {emoji} {url} {suffix}"
+
+    def benign_description(self) -> str:
+        """A profile bio for a normal user."""
+        rng = self._rng
+        words = list(rng.choice(BENIGN_WORDS, size=int(rng.integers(3, 9))))
+        if rng.random() < 0.3:
+            words.append(str(rng.choice(EMOJI)))
+        return " ".join(words)
+
+    def campaign_description(self, base_words: tuple[str, ...]) -> str:
+        """A near-duplicate campaign bio: shared base, tiny variation.
+
+        MinHash over tri-gram shingles must collide for campaign members,
+        so variation is confined to a trailing token.
+        """
+        rng = self._rng
+        suffix = str(rng.choice(EMOJI)) if rng.random() < 0.5 else ""
+        return (" ".join(base_words) + " " + suffix).strip()
+
+
+# ---------------------------------------------------------------------------
+# Screen-name generation
+# ---------------------------------------------------------------------------
+
+_FIRST_NAMES: tuple[str, ...] = (
+    "alex", "sam", "maria", "chen", "nina", "omar", "lena", "ravi", "kate",
+    "hugo", "ines", "tariq", "mona", "felix", "aya", "juan", "emma", "noor",
+)
+_NAME_WORDS: tuple[str, ...] = (
+    "sky", "river", "pixel", "nova", "echo", "cedar", "ember", "quill",
+    "delta", "orbit", "maple", "frost", "lumen", "drift", "sable", "wren",
+)
+
+
+def normal_screen_name(rng: np.random.Generator) -> str:
+    """An organic-looking screen name with high structural variety."""
+    style = rng.integers(0, 4)
+    first = str(rng.choice(_FIRST_NAMES))
+    word = str(rng.choice(_NAME_WORDS))
+    if style == 0:
+        return f"{first}_{word}"
+    if style == 1:
+        return f"{first.capitalize()}{word.capitalize()}"
+    if style == 2:
+        return f"{word}{rng.integers(1, 99)}"
+    return f"{first}.{word}.{rng.integers(1900, 2010)}"
+
+
+def campaign_screen_name(
+    prefix: str, digits: int, rng: np.random.Generator
+) -> str:
+    """An automatically registered campaign name: fixed prefix + digits.
+
+    All members of a campaign share the Σ-sequence pattern
+    (e.g. ``Ll+ N+``), which is exactly what the screen-name clustering
+    step of Section IV-B detects.
+    """
+    number = rng.integers(10 ** (digits - 1), 10**digits)
+    return f"{prefix}{number}"

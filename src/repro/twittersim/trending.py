@@ -1,0 +1,160 @@
+"""Trending-topic dynamics and classification.
+
+The trending-based attribute category (Table I, C3) needs four labels:
+*trending-up topics*, *trending-down topics*, *popular tweets*, and
+*no-trending topics*.  The paper reads these from a commercial hashtag
+analytics service [9]; the simulator substitutes its own topic
+popularity process:
+
+* every platform topic follows a stochastic rise/decay popularity
+  curve (an attack-decay envelope with noise), so at any hour some
+  topics are rising, some falling, and some stably popular;
+* :class:`TrendingTracker` observes per-hour usage counts (as an
+  analytics service would) and classifies topics by comparing recent
+  windows, exposing ``top_trending_up`` / ``top_trending_down`` /
+  ``top_popular`` rankings the selection layer consumes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class TopicState:
+    """Popularity of one topic at one hour."""
+
+    name: str
+    weight: float
+
+
+class TopicProcess:
+    """Simulator-side popularity process for platform topics.
+
+    Each topic's popularity follows a randomly-phased rise-and-decay
+    envelope; a refresh re-seeds dead topics so the platform always has
+    live trends.  ``weights_at(hour)`` gives sampling weights used by
+    the posting engine.
+    """
+
+    def __init__(
+        self,
+        topics: tuple[str, ...],
+        rng: np.random.Generator,
+        cycle_hours: float = 48.0,
+    ) -> None:
+        if not topics:
+            raise ValueError("TopicProcess needs at least one topic")
+        self._topics = topics
+        self._rng = rng
+        self._cycle = cycle_hours
+        n = len(topics)
+        # Random phase offsets and per-topic peak magnitudes.
+        self._phase = rng.uniform(0, cycle_hours, size=n)
+        self._peak = rng.lognormal(mean=0.0, sigma=0.6, size=n)
+        self._rise = rng.uniform(4.0, 16.0, size=n)   # hours to peak
+        self._decay = rng.uniform(8.0, 30.0, size=n)  # hours to die
+
+    @property
+    def topics(self) -> tuple[str, ...]:
+        return self._topics
+
+    def weights_at(self, hour: float) -> np.ndarray:
+        """Relative popularity weight of each topic at ``hour``."""
+        t = np.mod(hour + self._phase, self._cycle)
+        rising = t < self._rise
+        weight = np.where(
+            rising,
+            self._peak * (t / self._rise),
+            self._peak * np.exp(-(t - self._rise) / self._decay),
+        )
+        return weight + 0.02  # floor so no topic fully disappears
+
+    def states_at(self, hour: float) -> list[TopicState]:
+        """All topics with their weights, descending by weight."""
+        weights = self.weights_at(hour)
+        order = np.argsort(-weights)
+        return [TopicState(self._topics[i], float(weights[i])) for i in order]
+
+
+class TrendingTracker:
+    """Analytics-service substitute: classifies topics from usage counts.
+
+    The tracker only sees what an external observer could: how many
+    tweets used each topic in each hour.  Trend classification compares
+    the last ``window`` hours against the preceding ``window`` hours.
+    """
+
+    def __init__(self, window_hours: int = 3, min_count: int = 5) -> None:
+        if window_hours < 1:
+            raise ValueError("window_hours must be >= 1")
+        self._window = window_hours
+        self._min_count = min_count
+        self._counts: dict[int, dict[str, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+
+    def record(self, topic: str, hour: int) -> None:
+        """Record one tweet using ``topic`` during ``hour``."""
+        self._counts[hour][topic] += 1
+
+    def _window_counts(self, end_hour: int) -> dict[str, int]:
+        totals: dict[str, int] = defaultdict(int)
+        for hour in range(end_hour - self._window + 1, end_hour + 1):
+            for topic, count in self._counts.get(hour, {}).items():
+                totals[topic] += count
+        return totals
+
+    def momentum(self, hour: int) -> dict[str, float]:
+        """Per-topic growth ratio of recent window over previous window."""
+        recent = self._window_counts(hour)
+        previous = self._window_counts(hour - self._window)
+        topics = set(recent) | set(previous)
+        return {
+            topic: (recent.get(topic, 0) + 1) / (previous.get(topic, 0) + 1)
+            for topic in topics
+        }
+
+    def top_trending_up(self, hour: int, k: int = 10) -> list[str]:
+        """Topics with the strongest recent growth and real volume."""
+        recent = self._window_counts(hour)
+        momentum = self.momentum(hour)
+        eligible = [t for t, c in recent.items() if c >= self._min_count]
+        eligible.sort(key=lambda t: (-momentum[t], t))
+        return eligible[:k]
+
+    def top_trending_down(self, hour: int, k: int = 10) -> list[str]:
+        """Topics with the strongest recent decline that used to have volume."""
+        previous = self._window_counts(hour - self._window)
+        momentum = self.momentum(hour)
+        eligible = [t for t, c in previous.items() if c >= self._min_count]
+        eligible.sort(key=lambda t: (momentum[t], t))
+        return eligible[:k]
+
+    def top_popular(self, hour: int, k: int = 10) -> list[str]:
+        """Topics with the highest raw recent volume."""
+        recent = self._window_counts(hour)
+        ranked = sorted(recent.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [topic for topic, __ in ranked[:k]]
+
+    def all_topics_seen(self) -> set[str]:
+        """Every topic that has appeared in any recorded hour."""
+        seen: set[str] = set()
+        for counts in self._counts.values():
+            seen.update(counts)
+        return seen
+
+
+#: Default platform topic names (news-style trends, distinct from hashtags).
+DEFAULT_TOPICS: tuple[str, ...] = tuple(
+    f"topic_{name}"
+    for name in (
+        "election", "worldcup", "oscars", "earthquake", "launch", "strike",
+        "summit", "derby", "eclipse", "festival", "merger", "outage",
+        "transfer", "premiere", "protest", "rally", "verdict", "storm",
+        "championship", "keynote", "recall", "expo", "heatwave", "budget",
+    )
+)

@@ -1,0 +1,51 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_integers_grouped(self):
+        assert format_cell(1208375) == "1,208,375"
+
+    def test_small_floats_4_significant(self):
+        assert format_cell(0.0067) == "0.0067"
+        assert format_cell(1.7336) == "1.734"
+
+    def test_zero(self):
+        assert format_cell(0.0) == "0"
+
+    def test_large_floats_grouped(self):
+        assert format_cell(112555.0) == "112,555"
+
+    def test_strings_passthrough(self):
+        assert format_cell("RF") == "RF"
+
+
+class TestRenderTable:
+    def test_renders_header_divider_rows(self):
+        out = render_table(
+            ["Method", "Precision"],
+            [["RF", 0.974], ["DT", 0.801]],
+            title="Table IV",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Table IV"
+        assert "Method" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        assert "0.974" in out and "0.801" in out
+
+    def test_columns_aligned(self):
+        out = render_table(["A", "B"], [["x", 1], ["longer", 22]])
+        lines = out.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # every line same width
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["A", "B"], [["only one"]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["A"], [])
+        assert "A" in out

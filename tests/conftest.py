@@ -1,0 +1,52 @@
+"""Shared fixtures: tiny deterministic worlds and a shared warm world.
+
+Two usage patterns:
+
+* ``fresh_world`` — a factory for tests that mutate the platform
+  (suspensions, honeypot registration): each call builds an isolated
+  tiny world.
+* ``warm_world`` — one session-scoped tiny world that has already run
+  a few hours; strictly read-only tests share it for speed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.twittersim import (
+    SimulationConfig,
+    TwitterEngine,
+    build_population,
+)
+from repro.twittersim.api.rest import RestClient
+
+
+def build_world(seed: int = 7, **overrides):
+    """Construct a (population, engine, rest) triple for a tiny config."""
+    config = SimulationConfig.small(seed=seed, **overrides)
+    population = build_population(config)
+    engine = TwitterEngine(population)
+    rest = RestClient(engine)
+    return population, engine, rest
+
+
+@pytest.fixture
+def fresh_world():
+    """Factory fixture: isolated tiny worlds for mutating tests."""
+    return build_world
+
+
+@pytest.fixture(scope="session")
+def warm_world():
+    """One shared tiny world, pre-run for 6 hours (read-only tests)."""
+    population, engine, rest = build_world(seed=11)
+    engine.run_hours(6)
+    return population, engine, rest
+
+
+@pytest.fixture(scope="session")
+def tiny_session():
+    """The shared tiny reproduction session (full pipeline artifacts)."""
+    from repro.analysis import get_session
+
+    return get_session("tiny", seed=13)

@@ -1,0 +1,166 @@
+"""Tests for the 58-feature extractor."""
+
+import numpy as np
+import pytest
+
+from repro.features.extractor import NO_MENTION_TIME, FeatureExtractor
+from repro.features.schema import N_FEATURES, feature_index
+from repro.twittersim.clock import days
+from repro.twittersim.entities import (
+    Mention,
+    Tweet,
+    TweetKind,
+    TweetSource,
+    UserProfile,
+)
+
+
+def profile(uid: int, name: str | None = None) -> UserProfile:
+    return UserProfile(
+        user_id=uid,
+        screen_name=name or f"user{uid}",
+        name=f"User {uid}",
+        created_at=-days(100),
+        description="hello world",
+        friends_count=10 * uid,
+        followers_count=5 * uid,
+        statuses_count=100,
+        listed_count=3,
+        favourites_count=50,
+    )
+
+
+def tweet(uid: int, at: float, text="hi there friend", **overrides) -> Tweet:
+    base = dict(
+        tweet_id=int(at * 1000) * 100 + uid,
+        created_at=at,
+        user=profile(uid),
+        text=text,
+        kind=TweetKind.TWEET,
+        source=TweetSource.WEB,
+    )
+    base.update(overrides)
+    return Tweet(**base)
+
+
+class TestExtraction:
+    def test_vector_shape_and_finiteness(self):
+        extractor = FeatureExtractor()
+        vector = extractor.extract(tweet(1, 100.0))
+        assert vector.shape == (N_FEATURES,)
+        assert np.isfinite(vector).all()
+
+    def test_sender_profile_block(self):
+        extractor = FeatureExtractor()
+        vector = extractor.extract(tweet(3, 100.0))
+        assert vector[feature_index("sender_friends_count")] == 30
+        assert vector[feature_index("sender_followers_count")] == 15
+
+    def test_receiver_block_zero_without_mentions(self):
+        extractor = FeatureExtractor()
+        vector = extractor.extract(tweet(1, 100.0))
+        assert np.array_equal(vector[16:32], np.zeros(16))
+
+    def test_receiver_block_filled_from_profile_cache(self):
+        extractor = FeatureExtractor(honeypot_ids={2})
+        extractor.register_profile(profile(2))
+        mention_tweet = tweet(
+            1, 200.0, mentions=(Mention(2, "user2"),)
+        )
+        vector = extractor.extract(mention_tweet)
+        assert vector[feature_index("receiver_friends_count")] == 20
+
+    def test_receiver_prefers_honeypot_node(self):
+        extractor = FeatureExtractor(honeypot_ids={5})
+        extractor.register_profile(profile(5))
+        extractor.register_profile(profile(2))
+        mention_tweet = tweet(
+            1,
+            200.0,
+            mentions=(Mention(2, "user2"), Mention(5, "user5")),
+        )
+        assert extractor.receiver_of(mention_tweet) == 5
+
+    def test_repeated_content_flag(self):
+        extractor = FeatureExtractor()
+        first = extractor.extract(tweet(1, 100.0, text="same spam text here"))
+        second = extractor.extract(tweet(2, 200.0, text="same spam text here"))
+        idx = feature_index("is_repeated")
+        assert first[idx] == 0.0
+        assert second[idx] == 1.0
+
+    def test_repeated_expires_after_window(self):
+        extractor = FeatureExtractor(dedup_window_s=100.0)
+        extractor.extract(tweet(1, 0.0, text="short lived duplicate"))
+        late = extractor.extract(tweet(2, 500.0, text="short lived duplicate"))
+        assert late[feature_index("is_repeated")] == 0.0
+
+    def test_mention_time_feature(self):
+        extractor = FeatureExtractor()
+        reply = tweet(
+            1,
+            400.0,
+            mentions=(Mention(2, "user2"),),
+            in_reply_to_tweet_id=9,
+            in_reply_to_created_at=100.0,
+        )
+        vector = extractor.extract(reply)
+        assert vector[feature_index("mention_time")] == pytest.approx(300.0)
+
+    def test_mention_time_sentinel_for_non_reply(self):
+        extractor = FeatureExtractor()
+        vector = extractor.extract(tweet(1, 100.0))
+        assert vector[feature_index("mention_time")] == NO_MENTION_TIME
+
+    def test_reciprocity_grows_with_conversation(self):
+        extractor = FeatureExtractor()
+        idx = feature_index("reciprocity_count")
+        a = extractor.extract(tweet(1, 1.0, mentions=(Mention(2, "user2"),)))
+        b = extractor.extract(tweet(2, 2.0, mentions=(Mention(1, "user1"),)))
+        c = extractor.extract(tweet(1, 3.0, mentions=(Mention(2, "user2"),)))
+        assert a[idx] == 0.0
+        assert b[idx] == 1.0
+        assert c[idx] == 2.0
+
+    def test_sender_distribution_uses_past_only(self):
+        extractor = FeatureExtractor()
+        idx = feature_index("sender_tweet_frac")
+        first = extractor.extract(tweet(1, 1.0))
+        assert first[idx] == 0.0  # no history yet
+        second = extractor.extract(tweet(1, 2.0))
+        assert second[idx] == 1.0  # history = one TWEET
+
+    def test_average_interval_feature(self):
+        extractor = FeatureExtractor()
+        idx = feature_index("avg_tweet_interval")
+        extractor.extract(tweet(1, 0.0))
+        extractor.extract(tweet(1, 60.0))
+        third = extractor.extract(tweet(1, 180.0))
+        assert third[idx] == pytest.approx(60.0)
+
+    def test_environment_score_reacts_to_spam(self):
+        extractor = FeatureExtractor()
+        idx = feature_index("environment_score")
+        attrs = ("lists_count",)
+        baseline = extractor.extract(tweet(1, 1.0), attrs)[idx]
+        spammy = tweet(2, 2.0)
+        extractor.extract(spammy, attrs)
+        extractor.notify_spam(spammy, attrs)
+        after = extractor.extract(tweet(3, 3.0), attrs)[idx]
+        assert baseline == extractor.environment.tau
+        assert after > baseline
+
+
+class TestBatch:
+    def test_batch_matches_sequential(self):
+        tweets = [tweet(i % 3 + 1, float(i)) for i in range(10)]
+        a = FeatureExtractor().extract_batch(list(tweets))
+        b = FeatureExtractor()
+        rows = np.array([b.extract(t) for t in tweets])
+        assert np.allclose(a, rows)
+
+    def test_batch_attribute_alignment_checked(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor().extract_batch(
+                [tweet(1, 1.0)], attributes=[(), ()]
+            )

@@ -1,0 +1,48 @@
+"""Tests for the 58-feature schema."""
+
+import pytest
+
+from repro.features.schema import (
+    BEHAVIOR_FEATURE_NAMES,
+    CONTENT_FEATURE_NAMES,
+    FEATURE_GROUPS,
+    FEATURE_NAMES,
+    N_FEATURES,
+    PROFILE_FEATURE_NAMES,
+    feature_index,
+)
+
+
+class TestSchema:
+    def test_exactly_58_features(self):
+        assert N_FEATURES == 58
+        assert len(FEATURE_NAMES) == 58
+
+    def test_paper_group_sizes(self):
+        assert len(PROFILE_FEATURE_NAMES) == 16  # x2 (sender, receiver)
+        assert len(CONTENT_FEATURE_NAMES) == 8
+        assert len(BEHAVIOR_FEATURE_NAMES) == 18
+
+    def test_names_unique(self):
+        assert len(set(FEATURE_NAMES)) == 58
+
+    def test_groups_tile_the_vector(self):
+        spans = sorted(FEATURE_GROUPS.values())
+        assert spans[0][0] == 0
+        assert spans[-1][1] == 58
+        for (__, end), (start, __) in zip(spans, spans[1:]):
+            assert end == start
+
+    def test_feature_index_roundtrip(self):
+        for i, name in enumerate(FEATURE_NAMES):
+            assert feature_index(name) == i
+
+    def test_feature_index_unknown_raises(self):
+        with pytest.raises(KeyError):
+            feature_index("not_a_feature")
+
+    def test_environment_score_is_last(self):
+        assert FEATURE_NAMES[57] == "environment_score"
+
+    def test_mention_time_present(self):
+        assert "mention_time" in FEATURE_NAMES

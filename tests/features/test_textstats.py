@@ -1,0 +1,36 @@
+"""Tests for character-class statistics."""
+
+from repro.features.textstats import (
+    count_digits,
+    count_emoji,
+    strip_for_shingling,
+)
+
+
+class TestCounts:
+    def test_count_digits(self):
+        assert count_digits("a1b22c333") == 6
+        assert count_digits("no digits") == 0
+
+    def test_count_emoji(self):
+        assert count_emoji("hello 🔥🔥 world 🎉") == 3
+        assert count_emoji("plain text") == 0
+
+    def test_ascii_symbols_not_emoji(self):
+        assert count_emoji("a+b=c! @user #tag") == 0
+
+
+class TestShinglingNormalization:
+    def test_strips_urls(self):
+        assert "http" not in strip_for_shingling("see http://x.example/abc now")
+
+    def test_strips_emoji_and_punctuation(self):
+        out = strip_for_shingling("great, DEALS!! 🔥 here")
+        assert out == "great deals here"
+
+    def test_lowercases(self):
+        assert strip_for_shingling("Hello WORLD") == "hello world"
+
+    def test_empty_and_url_only(self):
+        assert strip_for_shingling("") == ""
+        assert strip_for_shingling("http://a.example/b") == ""

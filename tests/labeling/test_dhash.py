@@ -1,0 +1,102 @@
+"""Tests for dHash image fingerprinting and grouping."""
+
+import numpy as np
+import pytest
+
+from repro.labeling.dhash import (
+    dhash,
+    group_by_dhash,
+    hamming_distance,
+)
+from repro.twittersim.images import ImageStore, perturb_image
+
+
+@pytest.fixture
+def store():
+    return ImageStore(np.random.default_rng(7))
+
+
+class TestDhash:
+    def test_hash_is_128_bits(self, store):
+        value = dhash(store.get(store.new_random_image()))
+        assert 0 <= value < (1 << 128)
+
+    def test_hash_deterministic(self, store):
+        image = store.get(store.new_random_image())
+        assert dhash(image) == dhash(image.copy())
+
+    def test_identical_images_distance_zero(self, store):
+        image = store.get(store.new_random_image())
+        assert hamming_distance(dhash(image), dhash(image)) == 0
+
+    def test_small_perturbation_small_distance(self, store):
+        rng = np.random.default_rng(1)
+        base = store.get(store.new_random_image())
+        variant = perturb_image(base, rng, noise_std=2.0)
+        assert hamming_distance(dhash(base), dhash(variant)) <= 5
+
+    def test_different_images_large_distance(self, store):
+        a = dhash(store.get(store.new_random_image()))
+        b = dhash(store.get(store.new_random_image()))
+        assert hamming_distance(a, b) > 10
+
+    def test_rejects_tiny_image(self):
+        with pytest.raises(ValueError):
+            dhash(np.zeros((4, 4)))
+
+    def test_rgb_images_accepted(self, store):
+        gray = store.get(store.new_random_image())
+        rgb = np.stack([gray, gray, gray], axis=2)
+        assert dhash(rgb) == dhash(gray)
+
+
+class TestHamming:
+    def test_counts_differing_bits(self):
+        assert hamming_distance(0b1010, 0b0110) == 2
+        assert hamming_distance(0, (1 << 128) - 1) == 128
+
+    def test_symmetric(self):
+        assert hamming_distance(12345, 67890) == hamming_distance(67890, 12345)
+
+
+class TestGrouping:
+    def test_groups_campaign_variants(self, store):
+        base_id = store.new_campaign_base()
+        variant_ids = [store.new_campaign_variant(base_id) for __ in range(5)]
+        unrelated = [store.new_random_image() for __ in range(20)]
+        all_ids = [base_id] + variant_ids + unrelated
+        hashes = [dhash(store.get(i)) for i in all_ids]
+        groups = group_by_dhash(hashes)
+        campaign_indices = set(range(6))
+        # Exactly one group containing all campaign images.
+        matching = [g for g in groups if campaign_indices <= set(g)]
+        assert len(matching) == 1
+        # No unrelated image joins the campaign group (overwhelmingly).
+        assert len(matching[0]) <= 7
+
+    def test_no_groups_among_unrelated_images(self, store):
+        hashes = [
+            dhash(store.get(store.new_random_image())) for __ in range(30)
+        ]
+        groups = group_by_dhash(hashes)
+        assert all(len(g) < 3 for g in groups)
+
+    def test_two_campaigns_stay_separate(self, store):
+        base_a = store.new_campaign_base()
+        base_b = store.new_campaign_base()
+        ids = (
+            [base_a]
+            + [store.new_campaign_variant(base_a) for __ in range(4)]
+            + [base_b]
+            + [store.new_campaign_variant(base_b) for __ in range(4)]
+        )
+        hashes = [dhash(store.get(i)) for i in ids]
+        groups = {frozenset(g) for g in group_by_dhash(hashes)}
+        a_set = frozenset(range(5))
+        b_set = frozenset(range(5, 10))
+        assert any(a_set <= g for g in groups)
+        assert any(b_set <= g for g in groups)
+        assert not any(a_set <= g and b_set <= g for g in groups)
+
+    def test_empty_input(self):
+        assert group_by_dhash([]) == []

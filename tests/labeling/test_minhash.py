@@ -1,0 +1,71 @@
+"""Tests for MinHash near-duplicate detection."""
+
+import pytest
+
+from repro.labeling.minhash import MinHasher, group_by_signature
+
+
+class TestMinHasher:
+    def test_identical_texts_identical_signatures(self):
+        hasher = MinHasher(seed=1)
+        assert hasher.signature("win big cash now") == hasher.signature(
+            "win big cash now"
+        )
+
+    def test_normalization_before_hashing(self):
+        hasher = MinHasher(seed=1)
+        assert hasher.signature("Win BIG cash! 🔥") == hasher.signature(
+            "win big cash"
+        )
+
+    def test_urls_ignored(self):
+        hasher = MinHasher(seed=1)
+        a = hasher.signature("deal now http://a.example/xyz")
+        b = hasher.signature("deal now http://b.example/qrs")
+        assert a == b
+
+    def test_different_texts_differ(self):
+        hasher = MinHasher(seed=1)
+        assert hasher.signature("the quick brown fox") != hasher.signature(
+            "completely unrelated words here"
+        )
+
+    def test_similarity_bounds(self):
+        hasher = MinHasher(seed=2)
+        assert hasher.similarity("abc def", "abc def") == 1.0
+        assert 0.0 <= hasher.similarity("abcdefgh", "zyxwvuts") <= 0.4
+
+    def test_near_duplicates_highly_similar(self):
+        hasher = MinHasher(n_hashes=64, seed=0)
+        a = "join our amazing community for great daily deals"
+        b = "join our amazing community for great daily deal"
+        assert hasher.similarity(a, b) > 0.6
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            MinHasher(n_hashes=0)
+        with pytest.raises(ValueError):
+            MinHasher(shingle_size=0)
+
+
+class TestGrouping:
+    def test_groups_identical_descriptions(self):
+        texts = [
+            "best deals every day 🔥",
+            "best deals every day",
+            "my personal garden blog",
+            "BEST deals every DAY!",
+            "completely different bio",
+        ]
+        groups = group_by_signature(texts, MinHasher(seed=3))
+        assert [0, 1, 3] in [sorted(g) for g in groups]
+
+    def test_blank_bios_never_grouped(self):
+        texts = ["", "   ", "http://x.example/a", "real words here", ""]
+        groups = group_by_signature(texts, MinHasher(seed=3))
+        flattened = {i for g in groups for i in g}
+        assert 0 not in flattened and 4 not in flattened
+
+    def test_singletons_dropped(self):
+        texts = ["alpha words", "beta words here", "gamma phrase now"]
+        assert group_by_signature(texts, MinHasher(seed=4)) == []

@@ -1,0 +1,59 @@
+"""Tests for Σ-sequence screen-name clustering."""
+
+import numpy as np
+
+from repro.labeling.screenname import (
+    group_by_pattern,
+    pattern_key,
+    sigma_sequence,
+)
+from repro.twittersim.text import campaign_screen_name, normal_screen_name
+
+
+class TestSigmaSequence:
+    def test_encodes_character_classes(self):
+        assert sigma_sequence("promoa12345") == "Ll6N5"
+        assert sigma_sequence("Alice") == "Lu1Ll4"
+        assert sigma_sequence("a_b") == "Ll1P1Ll1"
+        assert sigma_sequence("") == ""
+
+    def test_runs_compressed(self):
+        assert sigma_sequence("AAAA") == "Lu4"
+        assert sigma_sequence("aa11aa") == "Ll2N2Ll2"
+
+
+class TestPatternKey:
+    def test_includes_prefix(self):
+        key = pattern_key("promoa12345")
+        assert key == ("Ll6N5", "prom")
+
+    def test_same_campaign_same_key(self):
+        rng = np.random.default_rng(0)
+        keys = {
+            pattern_key(campaign_screen_name("dealx", 5, rng))
+            for __ in range(20)
+        }
+        assert len(keys) == 1
+
+
+class TestGrouping:
+    def test_campaign_names_grouped(self):
+        rng = np.random.default_rng(1)
+        campaign = [campaign_screen_name("cashb", 6, rng) for __ in range(8)]
+        organic = [normal_screen_name(rng) for __ in range(40)]
+        names = campaign + organic
+        groups = group_by_pattern(names)
+        campaign_set = set(range(8))
+        assert any(campaign_set <= set(g) for g in groups)
+
+    def test_min_group_size_enforced(self):
+        rng = np.random.default_rng(2)
+        names = [campaign_screen_name("winz", 5, rng) for __ in range(4)]
+        assert group_by_pattern(names, min_group_size=5) == []
+        assert group_by_pattern(names, min_group_size=4) != []
+
+    def test_organic_names_rarely_grouped(self):
+        rng = np.random.default_rng(3)
+        names = [normal_screen_name(rng) for __ in range(200)]
+        grouped = {i for g in group_by_pattern(names) for i in g}
+        assert len(grouped) / len(names) < 0.25

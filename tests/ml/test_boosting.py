@@ -1,0 +1,76 @@
+"""Tests for gradient boosting (EGB)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.boosting import GradientBoostingClassifier
+
+
+def xor_data(n=600, seed=0):
+    """A problem linear models cannot solve but boosting can."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+class TestGradientBoosting:
+    def test_solves_xor(self):
+        X, y = xor_data()
+        model = GradientBoostingClassifier(
+            n_estimators=40, max_depth=3, seed=0
+        ).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.95
+
+    def test_more_rounds_reduce_training_error(self):
+        X, y = xor_data(n=400)
+        few = GradientBoostingClassifier(n_estimators=3, seed=0).fit(X, y)
+        many = GradientBoostingClassifier(n_estimators=50, seed=0).fit(X, y)
+        err_few = (few.predict(X) != y).mean()
+        err_many = (many.predict(X) != y).mean()
+        assert err_many <= err_few
+
+    def test_base_score_is_log_odds_of_prior(self):
+        X, y = xor_data(n=200)
+        model = GradientBoostingClassifier(n_estimators=1, seed=0).fit(X, y)
+        prior = y.mean()
+        assert model.base_score_ == pytest.approx(
+            np.log(prior / (1 - prior)), abs=1e-9
+        )
+
+    def test_proba_in_unit_interval(self):
+        X, y = xor_data(n=200)
+        model = GradientBoostingClassifier(n_estimators=10, seed=0).fit(X, y)
+        proba = model.predict_proba(X)
+        assert (proba >= 0).all() and (proba <= 1).all()
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_subsample_still_learns(self):
+        X, y = xor_data()
+        model = GradientBoostingClassifier(
+            n_estimators=60, subsample=0.5, seed=0
+        ).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.9
+
+    def test_rejects_bad_subsample(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(subsample=0.0)
+
+    def test_rejects_bad_learning_rate(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(learning_rate=-0.1)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            GradientBoostingClassifier().predict(np.zeros((2, 3)))
+
+    def test_deterministic_per_seed(self):
+        X, y = xor_data(n=300)
+        a = GradientBoostingClassifier(
+            n_estimators=10, subsample=0.7, seed=2
+        ).fit(X, y)
+        b = GradientBoostingClassifier(
+            n_estimators=10, subsample=0.7, seed=2
+        ).fit(X, y)
+        assert np.allclose(a.decision_function(X), b.decision_function(X))

@@ -1,0 +1,85 @@
+"""Tests for the random forest."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def noisy_data(n=600, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 8))
+    logits = X[:, 0] + 0.8 * X[:, 1] * X[:, 2]
+    y = (logits + rng.normal(scale=0.5, size=n) > 0).astype(int)
+    return X, y
+
+
+class TestRandomForest:
+    def test_beats_single_tree_on_noisy_data(self):
+        X, y = noisy_data(n=900)
+        X_tr, y_tr, X_te, y_te = X[:600], y[:600], X[600:], y[600:]
+        tree = DecisionTreeClassifier(seed=0).fit(X_tr, y_tr)
+        forest = RandomForestClassifier(n_estimators=25, seed=0).fit(
+            X_tr, y_tr
+        )
+        tree_acc = (tree.predict(X_te) == y_te).mean()
+        forest_acc = (forest.predict(X_te) == y_te).mean()
+        assert forest_acc >= tree_acc
+
+    def test_predict_proba_averages_trees(self):
+        X, y = noisy_data(n=200)
+        forest = RandomForestClassifier(n_estimators=5, seed=1).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert proba.shape == (200, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_n_estimators_respected(self):
+        X, y = noisy_data(n=100)
+        forest = RandomForestClassifier(n_estimators=7).fit(X, y)
+        assert len(forest.trees_) == 7
+
+    def test_rejects_zero_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            RandomForestClassifier().predict(np.zeros((2, 3)))
+
+    def test_deterministic_per_seed(self):
+        X, y = noisy_data(n=200)
+        a = RandomForestClassifier(n_estimators=5, seed=9).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, seed=9).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_different_seeds_differ(self):
+        X, y = noisy_data(n=200)
+        a = RandomForestClassifier(n_estimators=5, seed=1).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, seed=2).fit(X, y)
+        assert not np.array_equal(
+            a.predict_proba(X)[:, 1], b.predict_proba(X)[:, 1]
+        )
+
+    def test_feature_importances_sum_to_one(self):
+        X, y = noisy_data(n=300)
+        forest = RandomForestClassifier(n_estimators=10, seed=0).fit(X, y)
+        importances = forest.feature_importances()
+        assert importances.shape == (8,)
+        assert importances.sum() == pytest.approx(1.0)
+
+    def test_informative_feature_most_important(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(500, 6))
+        y = (X[:, 4] > 0).astype(int)
+        forest = RandomForestClassifier(n_estimators=15, seed=0).fit(X, y)
+        assert forest.feature_importances().argmax() == 4
+
+    def test_paper_configuration_runs(self):
+        """RF with 70 trees / depth 700 (Section V-C) trains and predicts."""
+        X, y = noisy_data(n=300)
+        forest = RandomForestClassifier(
+            n_estimators=70, max_depth=700, seed=0
+        ).fit(X, y)
+        assert (forest.predict(X) == y).mean() > 0.9

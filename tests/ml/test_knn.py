@@ -1,0 +1,55 @@
+"""Tests for k-nearest neighbors."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.knn import KNeighborsClassifier
+
+
+def clustered_data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal(loc=-2, size=(n // 2, 3))
+    X1 = rng.normal(loc=+2, size=(n // 2, 3))
+    X = np.vstack([X0, X1])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    return X, y
+
+
+class TestKNN:
+    def test_classifies_well_separated_clusters(self):
+        X, y = clustered_data()
+        model = KNeighborsClassifier(n_neighbors=5).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.98
+
+    def test_k1_memorizes_training_set(self):
+        X, y = clustered_data(n=100)
+        model = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert (model.predict(X) == y).all()
+
+    def test_proba_is_vote_fraction(self):
+        X = np.array([[0.0], [0.1], [0.2], [10.0]])
+        y = np.array([0, 0, 1, 1])
+        model = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        proba = model.predict_proba(np.array([[0.05]]))
+        assert proba[0, 1] == pytest.approx(1 / 3)
+
+    def test_chunking_matches_unchunked(self):
+        X, y = clustered_data(n=200)
+        a = KNeighborsClassifier(5, chunk_size=7).fit(X, y)
+        b = KNeighborsClassifier(5, chunk_size=1000).fit(X, y)
+        queries = np.random.default_rng(1).normal(size=(50, 3))
+        assert np.allclose(a.predict_proba(queries), b.predict_proba(queries))
+
+    def test_rejects_k_zero(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=0)
+
+    def test_rejects_k_larger_than_training_set(self):
+        X, y = clustered_data(n=10)
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=20).fit(X, y)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            KNeighborsClassifier().predict(np.zeros((2, 3)))

@@ -1,0 +1,76 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    false_positive_rate,
+    precision,
+    recall,
+)
+
+Y_TRUE = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+Y_PRED = np.array([0, 0, 0, 1, 1, 1, 0, 0])  # TN=3 FP=1 TP=2 FN=2
+
+
+class TestConfusionMatrix:
+    def test_layout(self):
+        matrix = confusion_matrix(Y_TRUE, Y_PRED)
+        assert matrix.tolist() == [[3, 1], [2, 2]]
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 1]), np.array([0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([]), np.array([]))
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(Y_TRUE, Y_PRED) == pytest.approx(5 / 8)
+
+    def test_precision(self):
+        assert precision(Y_TRUE, Y_PRED) == pytest.approx(2 / 3)
+
+    def test_recall(self):
+        assert recall(Y_TRUE, Y_PRED) == pytest.approx(2 / 4)
+
+    def test_false_positive_rate(self):
+        assert false_positive_rate(Y_TRUE, Y_PRED) == pytest.approx(1 / 4)
+
+    def test_f1(self):
+        p, r = 2 / 3, 1 / 2
+        assert f1_score(Y_TRUE, Y_PRED) == pytest.approx(2 * p * r / (p + r))
+
+    def test_perfect_prediction(self):
+        assert accuracy(Y_TRUE, Y_TRUE) == 1.0
+        assert precision(Y_TRUE, Y_TRUE) == 1.0
+        assert recall(Y_TRUE, Y_TRUE) == 1.0
+        assert false_positive_rate(Y_TRUE, Y_TRUE) == 0.0
+
+    def test_degenerate_no_positives_predicted(self):
+        pred = np.zeros_like(Y_TRUE)
+        assert precision(Y_TRUE, pred) == 0.0
+        assert recall(Y_TRUE, pred) == 0.0
+        assert false_positive_rate(Y_TRUE, pred) == 0.0
+
+    def test_all_negative_truth(self):
+        truth = np.zeros(4)
+        pred = np.array([0, 1, 0, 1])
+        assert recall(truth, pred) == 0.0
+        assert false_positive_rate(truth, pred) == 0.5
+
+    def test_report_bundles_all_four(self):
+        report = classification_report(Y_TRUE, Y_PRED)
+        assert report.as_row() == (
+            accuracy(Y_TRUE, Y_PRED),
+            precision(Y_TRUE, Y_PRED),
+            recall(Y_TRUE, Y_PRED),
+            false_positive_rate(Y_TRUE, Y_PRED),
+        )

@@ -1,0 +1,106 @@
+"""Tests for splitting and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.ml.dummy import MajorityClassifier
+from repro.ml.model_selection import (
+    KFold,
+    StratifiedKFold,
+    cross_validate,
+    train_test_split,
+)
+
+
+def make_data(n=200, seed=0, positive_rate=0.3):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = (rng.random(n) < positive_rate).astype(int)
+    return X, y
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X, y = make_data()
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.25)
+        assert len(X_te) == len(y_te)
+        assert len(X_tr) + len(X_te) == len(X)
+        assert abs(len(X_te) - 50) <= 2
+
+    def test_stratified_preserves_class_balance(self):
+        X, y = make_data(n=1000, positive_rate=0.2)
+        __, __, __, y_te = train_test_split(X, y, test_size=0.3)
+        assert abs(y_te.mean() - 0.2) < 0.05
+
+    def test_invalid_test_size(self):
+        X, y = make_data()
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_size=1.5)
+
+    def test_deterministic_per_seed(self):
+        X, y = make_data()
+        a = train_test_split(X, y, seed=3)
+        b = train_test_split(X, y, seed=3)
+        assert np.array_equal(a[1], b[1])
+
+
+class TestKFold:
+    def test_partitions_everything_once(self):
+        splitter = KFold(n_splits=5, seed=1)
+        seen = []
+        for train_idx, test_idx in splitter.split(100):
+            seen.extend(test_idx.tolist())
+            assert set(train_idx) & set(test_idx) == set()
+            assert len(train_idx) + len(test_idx) == 100
+        assert sorted(seen) == list(range(100))
+
+    def test_rejects_single_split(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=10).split(5))
+
+
+class TestStratifiedKFold:
+    def test_folds_preserve_class_ratio(self):
+        __, y = make_data(n=1000, positive_rate=0.25)
+        splitter = StratifiedKFold(n_splits=10, seed=2)
+        for __, test_idx in splitter.split(y):
+            fold_rate = y[test_idx].mean()
+            assert abs(fold_rate - 0.25) < 0.08
+
+    def test_partitions_everything_once(self):
+        __, y = make_data(n=300)
+        seen = []
+        for __, test_idx in StratifiedKFold(5, seed=0).split(y):
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(300))
+
+    def test_rejects_class_smaller_than_folds(self):
+        y = np.array([0] * 50 + [1] * 3)
+        with pytest.raises(ValueError):
+            list(StratifiedKFold(10).split(y))
+
+
+class TestCrossValidate:
+    def test_majority_baseline_metrics(self):
+        X, y = make_data(n=500, positive_rate=0.2)
+        result = cross_validate(MajorityClassifier, X, y, n_splits=5)
+        # Majority is class 0: accuracy ~0.8, recall 0, fpr 0.
+        assert result.mean.accuracy == pytest.approx(1 - y.mean(), abs=0.05)
+        assert result.mean.recall == 0.0
+        assert result.mean.false_positive_rate == 0.0
+        assert len(result.folds) == 5
+
+    def test_learnable_signal_gives_high_accuracy(self):
+        from repro.ml.tree import DecisionTreeClassifier
+
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(400, 3))
+        y = (X[:, 0] > 0).astype(int)
+        result = cross_validate(
+            lambda: DecisionTreeClassifier(max_depth=3), X, y, n_splits=5
+        )
+        assert result.mean.accuracy > 0.95

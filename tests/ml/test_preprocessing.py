@@ -1,0 +1,77 @@
+"""Tests for scalers and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError, check_X, check_X_y
+from repro.ml.dummy import MajorityClassifier
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(loc=5, scale=3, size=(500, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1, atol=1e-9)
+
+    def test_constant_feature_maps_to_zero(self):
+        X = np.column_stack([np.full(10, 3.0), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_transform_uses_training_statistics(self):
+        X_train = np.array([[0.0], [10.0]])
+        scaler = StandardScaler().fit(X_train)
+        assert scaler.transform(np.array([[5.0]]))[0, 0] == pytest.approx(0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+
+class TestMinMaxScaler:
+    def test_unit_interval(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-50, 50, size=(200, 3))
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() == pytest.approx(0.0)
+        assert Z.max() == pytest.approx(1.0)
+
+    def test_constant_feature_maps_to_zero(self):
+        X = np.column_stack([np.full(5, 2.0), np.arange(5.0)])
+        Z = MinMaxScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+
+
+class TestValidation:
+    def test_check_X_y_canonicalizes(self):
+        X, y = check_X_y([[1, 2], [3, 4]], [0, 1])
+        assert X.dtype == np.float64
+        assert y.dtype == np.int64
+
+    def test_check_X_y_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            check_X_y(np.zeros((3, 2)), np.zeros(2))
+
+    def test_check_X_y_rejects_multiclass(self):
+        with pytest.raises(ValueError):
+            check_X_y(np.zeros((3, 2)), np.array([0, 1, 2]))
+
+    def test_check_X_rejects_1d(self):
+        with pytest.raises(ValueError):
+            check_X(np.zeros(5))
+
+    def test_check_X_feature_count(self):
+        with pytest.raises(ValueError):
+            check_X(np.zeros((2, 3)), n_features=4)
+
+
+class TestMajorityClassifier:
+    def test_predicts_majority(self):
+        X = np.zeros((10, 2))
+        y = np.array([1] * 7 + [0] * 3)
+        model = MajorityClassifier().fit(X, y)
+        assert (model.predict(X) == 1).all()
+        assert model.predict_proba(X)[0, 1] == pytest.approx(0.7)

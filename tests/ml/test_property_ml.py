@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) for the ML substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.metrics import (
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    false_positive_rate,
+    precision,
+    recall,
+)
+from repro.ml.model_selection import StratifiedKFold
+from repro.ml.tree import DecisionTreeClassifier, quantile_bin
+
+labels = st.lists(st.integers(0, 1), min_size=2, max_size=200)
+
+
+@st.composite
+def label_pairs(draw):
+    n = draw(st.integers(2, 150))
+    y_true = draw(
+        arrays(np.int64, n, elements=st.integers(0, 1))
+    )
+    y_pred = draw(
+        arrays(np.int64, n, elements=st.integers(0, 1))
+    )
+    return y_true, y_pred
+
+
+class TestMetricProperties:
+    @given(label_pairs())
+    def test_metrics_in_unit_interval(self, pair):
+        y_true, y_pred = pair
+        for metric in (accuracy, precision, recall, false_positive_rate, f1_score):
+            value = metric(y_true, y_pred)
+            assert 0.0 <= value <= 1.0
+
+    @given(label_pairs())
+    def test_confusion_matrix_sums_to_n(self, pair):
+        y_true, y_pred = pair
+        assert confusion_matrix(y_true, y_pred).sum() == len(y_true)
+
+    @given(label_pairs())
+    def test_perfect_prediction_identity(self, pair):
+        y_true, __ = pair
+        assert accuracy(y_true, y_true) == 1.0
+
+    @given(label_pairs())
+    def test_accuracy_symmetric_under_label_swap(self, pair):
+        y_true, y_pred = pair
+        assert accuracy(y_true, y_pred) == accuracy(1 - y_true, 1 - y_pred)
+
+
+class TestStratifiedKFoldProperties:
+    @given(
+        st.integers(2, 5),
+        st.integers(20, 120),
+        st.floats(0.2, 0.8),
+        st.integers(0, 10),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_partition_property(self, n_splits, n, rate, seed):
+        rng = np.random.default_rng(seed)
+        y = (rng.random(n) < rate).astype(int)
+        if min((y == 0).sum(), (y == 1).sum()) < n_splits:
+            return  # splitter legitimately refuses
+        seen = []
+        for train_idx, test_idx in StratifiedKFold(n_splits, seed).split(y):
+            assert set(train_idx) & set(test_idx) == set()
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(n))
+
+
+class TestTreeProperties:
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_tree_predictions_are_valid_probabilities(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(60, 3))
+        y = (rng.random(60) < 0.5).astype(int)
+        if y.min() == y.max():
+            return
+        model = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        proba = model.predict_proba(X)
+        assert np.all(proba >= 0) and np.all(proba <= 1)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    @given(st.integers(0, 50), st.integers(2, 64))
+    @settings(max_examples=20, deadline=None)
+    def test_quantile_bin_order_preserving(self, seed, max_bins):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(80, 2))
+        codes, __ = quantile_bin(X, max_bins)
+        for f in range(2):
+            order = np.argsort(X[:, f], kind="stable")
+            assert (np.diff(codes[order, f]) >= 0).all()
+
+    @given(st.integers(0, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_tree_is_deterministic(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(50, 3))
+        y = (X[:, 0] > 0).astype(int)
+        if y.min() == y.max():
+            return
+        a = DecisionTreeClassifier(max_depth=4, seed=1).fit(X, y)
+        b = DecisionTreeClassifier(max_depth=4, seed=1).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))

@@ -1,0 +1,65 @@
+"""Tests for behavioral distributions."""
+
+import numpy as np
+
+from repro.twittersim.behavior import (
+    draw_kind,
+    draw_source,
+    organic_reply_delay,
+    spam_reaction_delay,
+)
+from repro.twittersim.entities import TweetKind, TweetSource
+
+
+class TestSourceDistribution:
+    def test_spammers_skew_third_party(self):
+        rng = np.random.default_rng(0)
+        spam = [draw_source(rng, spammer=True) for __ in range(2000)]
+        normal = [draw_source(rng, spammer=False) for __ in range(2000)]
+        spam_third = spam.count(TweetSource.THIRD_PARTY) / len(spam)
+        normal_third = normal.count(TweetSource.THIRD_PARTY) / len(normal)
+        assert spam_third > 0.6
+        assert normal_third < 0.2
+
+    def test_all_sources_possible(self):
+        rng = np.random.default_rng(1)
+        seen = {draw_source(rng, spammer=False) for __ in range(3000)}
+        assert seen == set(TweetSource)
+
+
+class TestKindDistribution:
+    def test_normal_mixes_kinds(self):
+        rng = np.random.default_rng(2)
+        kinds = [draw_kind(rng, spammer=False) for __ in range(3000)]
+        fractions = {
+            kind: kinds.count(kind) / len(kinds) for kind in TweetKind
+        }
+        assert fractions[TweetKind.TWEET] > 0.6
+        assert fractions[TweetKind.RETWEET] > 0.05
+        assert fractions[TweetKind.QUOTE] > 0.05
+
+    def test_spam_mostly_original_tweets(self):
+        rng = np.random.default_rng(3)
+        kinds = [draw_kind(rng, spammer=True) for __ in range(2000)]
+        assert kinds.count(TweetKind.TWEET) / len(kinds) > 0.8
+
+
+class TestDelays:
+    def test_spam_reaction_much_faster_than_organic(self):
+        rng = np.random.default_rng(4)
+        organic = [organic_reply_delay(rng) for __ in range(2000)]
+        spam = [spam_reaction_delay(rng, 30.0) for __ in range(2000)]
+        assert np.median(spam) < 120
+        assert np.median(organic) > 600
+        assert np.median(spam) * 5 < np.median(organic)
+
+    def test_delays_positive(self):
+        rng = np.random.default_rng(5)
+        assert all(organic_reply_delay(rng) > 0 for __ in range(100))
+        assert all(spam_reaction_delay(rng, 20.0) > 0 for __ in range(100))
+
+    def test_reaction_median_scales(self):
+        rng = np.random.default_rng(6)
+        fast = np.median([spam_reaction_delay(rng, 15.0) for __ in range(800)])
+        slow = np.median([spam_reaction_delay(rng, 90.0) for __ in range(800)])
+        assert fast < slow

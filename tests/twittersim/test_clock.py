@@ -1,0 +1,75 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.twittersim.clock import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SimClock,
+    days,
+    hours,
+)
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(123.5).now == 123.5
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        clock.advance(5.0)
+        assert clock.now == 15.0
+
+    def test_advance_returns_new_time(self):
+        assert SimClock().advance(7.0) == 7.0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_zero_is_allowed(self):
+        clock = SimClock(5.0)
+        clock.advance(0.0)
+        assert clock.now == 5.0
+
+    def test_advance_to_absolute(self):
+        clock = SimClock()
+        clock.advance_to(100.0)
+        assert clock.now == 100.0
+
+    def test_advance_to_rejects_past(self):
+        clock = SimClock(50.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(49.0)
+
+    def test_hour_index(self):
+        clock = SimClock()
+        assert clock.hour == 0
+        clock.advance(SECONDS_PER_HOUR - 1)
+        assert clock.hour == 0
+        clock.advance(1)
+        assert clock.hour == 1
+
+    def test_advance_hours(self):
+        clock = SimClock()
+        clock.advance_hours(2.5)
+        assert clock.now == 2.5 * SECONDS_PER_HOUR
+
+    def test_repr_mentions_hour(self):
+        clock = SimClock(SECONDS_PER_HOUR * 3)
+        assert "hour=3" in repr(clock)
+
+
+class TestConversions:
+    def test_hours(self):
+        assert hours(2) == 2 * SECONDS_PER_HOUR
+
+    def test_days(self):
+        assert days(1.5) == 1.5 * SECONDS_PER_DAY
+
+    def test_day_is_24_hours(self):
+        assert SECONDS_PER_DAY == 24 * SECONDS_PER_HOUR

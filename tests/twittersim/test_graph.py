@@ -1,0 +1,98 @@
+"""Tests for the follow graph."""
+
+import numpy as np
+import pytest
+
+from repro.twittersim import SimulationConfig, TwitterEngine, build_population
+from repro.twittersim.graph import FollowGraphIndex, build_follow_graph
+
+
+@pytest.fixture(scope="module")
+def graph_world():
+    population = build_population(SimulationConfig.small(seed=77))
+    graph = build_follow_graph(population, mean_out_degree=10, seed=1)
+    return population, graph, FollowGraphIndex(graph)
+
+
+class TestBuildFollowGraph:
+    def test_nodes_are_organic_accounts(self, graph_world):
+        population, graph, __ = graph_world
+        n_normal = population.config.n_normal_users
+        assert set(graph.nodes) == set(population.order[:n_normal])
+
+    def test_no_self_follows(self, graph_world):
+        __, graph, __ = graph_world
+        assert all(u != v for u, v in graph.edges)
+
+    def test_mean_out_degree_respected(self, graph_world):
+        population, graph, __ = graph_world
+        n = population.config.n_normal_users
+        mean_out = graph.number_of_edges() / n
+        assert 6 < mean_out < 14
+
+    def test_in_degree_tracks_follower_counts(self, graph_world):
+        population, __, index = graph_world
+        correlation = index.in_degree_correlation(population)
+        assert correlation > 0.3
+
+    def test_deterministic_per_seed(self):
+        population = build_population(SimulationConfig.small(seed=78))
+        a = build_follow_graph(population, seed=5)
+        b = build_follow_graph(population, seed=5)
+        assert set(a.edges) == set(b.edges)
+
+
+class TestFollowGraphIndex:
+    def test_followers_of_matches_graph(self, graph_world):
+        __, graph, index = graph_world
+        popular = max(graph.nodes, key=graph.in_degree)
+        assert set(index.followers_of(popular)) == set(
+            graph.predecessors(popular)
+        )
+
+    def test_sample_follower_from_followers(self, graph_world):
+        __, graph, index = graph_world
+        rng = np.random.default_rng(0)
+        popular = max(graph.nodes, key=graph.in_degree)
+        for __ in range(10):
+            follower = index.sample_follower(popular, rng)
+            assert follower in set(graph.predecessors(popular))
+
+    def test_sample_follower_none_when_isolated(self, graph_world):
+        __, __, index = graph_world
+        rng = np.random.default_rng(0)
+        assert index.sample_follower(10**9, rng) is None
+
+
+class TestEngineIntegration:
+    def test_replies_flow_along_edges_when_enabled(self):
+        config = SimulationConfig.small(
+            seed=79, use_follow_graph=True, reply_rate=3.0
+        )
+        population = build_population(config)
+        engine = TwitterEngine(population)
+        assert engine._follow_index is not None
+        graph = engine._follow_index.graph
+        replies = []
+        def watch(tweet):
+            if tweet.in_reply_to_tweet_id is not None and tweet.mentions:
+                if not population.truth.is_spam_tweet(tweet.tweet_id):
+                    replies.append(
+                        (tweet.user.user_id, tweet.mentions[0].user_id)
+                    )
+        engine.subscribe(watch)
+        engine.run_hours(6)
+        assert replies
+        on_edge = sum(
+            1
+            for replier, author in replies
+            if graph.has_edge(replier, author)
+        )
+        # Most organic replies come from followers (fallback is uniform
+        # when the author has no followers in the sampled graph).
+        assert on_edge / len(replies) > 0.5
+
+    def test_disabled_by_default(self):
+        population = build_population(SimulationConfig.small(seed=80))
+        engine = TwitterEngine(population)
+        assert engine._follow_index is None

@@ -1,0 +1,35 @@
+"""Tests for the hashtag taxonomy."""
+
+from repro.twittersim.hashtags import (
+    HASHTAG_POOLS,
+    HashtagCategory,
+    all_hashtags,
+    category_of,
+)
+
+
+class TestTaxonomy:
+    def test_eight_categories(self):
+        assert len(HashtagCategory) == 8
+
+    def test_every_category_has_ten_plus_tags(self):
+        for category in HashtagCategory:
+            assert len(HASHTAG_POOLS[category]) >= 10
+
+    def test_no_tag_in_two_categories(self):
+        seen = {}
+        for category, tags in HASHTAG_POOLS.items():
+            for tag in tags:
+                assert tag not in seen, f"{tag} in {seen.get(tag)} and {category}"
+                seen[tag] = category
+
+    def test_category_of_known_tag(self):
+        assert category_of("startup") is HashtagCategory.BUSINESS
+
+    def test_category_of_unknown_tag(self):
+        assert category_of("zzz_not_a_tag") is None
+
+    def test_all_hashtags_stable_and_complete(self):
+        tags = all_hashtags()
+        assert tags == all_hashtags()
+        assert len(tags) == sum(len(v) for v in HASHTAG_POOLS.values())

@@ -1,0 +1,48 @@
+"""Tests for snowflake id generation."""
+
+from repro.twittersim.ids import SnowflakeGenerator
+
+
+class TestSnowflakeGenerator:
+    def test_ids_are_unique(self):
+        gen = SnowflakeGenerator()
+        ids = [gen.next_id(1.0) for __ in range(1000)]
+        assert len(set(ids)) == 1000
+
+    def test_ids_increase_with_time(self):
+        gen = SnowflakeGenerator()
+        a = gen.next_id(1.0)
+        b = gen.next_id(2.0)
+        c = gen.next_id(100.0)
+        assert a < b < c
+
+    def test_ids_increase_within_same_timestamp(self):
+        gen = SnowflakeGenerator()
+        ids = [gen.next_id(5.0) for __ in range(10)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 10
+
+    def test_out_of_order_timestamps_never_decrease_ids(self):
+        gen = SnowflakeGenerator()
+        a = gen.next_id(100.0)
+        b = gen.next_id(50.0)  # backdated
+        assert b > a
+
+    def test_negative_timestamps_supported(self):
+        gen = SnowflakeGenerator()
+        identifier = gen.next_id(-86400.0 * 1000)
+        assert identifier > 0
+
+    def test_timestamp_roundtrip(self):
+        gen = SnowflakeGenerator()
+        identifier = gen.next_id(1234.5)
+        recovered = SnowflakeGenerator.timestamp_of(identifier)
+        assert abs(recovered - 1234.5) < 0.002
+
+    def test_sequence_overflow_rolls_to_next_ms(self):
+        gen = SnowflakeGenerator()
+        last = 0
+        for __ in range(70_000):  # > 2^16 ids at one timestamp
+            current = gen.next_id(1.0)
+            assert current > last
+            last = current

@@ -1,0 +1,73 @@
+"""Tests for the profile-image store."""
+
+import numpy as np
+import pytest
+
+from repro.labeling.dhash import dhash, hamming_distance
+from repro.twittersim.images import (
+    DEFAULT_IMAGE_ID,
+    IMAGE_SIZE,
+    ImageStore,
+    perturb_image,
+)
+
+
+@pytest.fixture
+def store():
+    return ImageStore(np.random.default_rng(0))
+
+
+class TestImageStore:
+    def test_default_image_exists(self, store):
+        image = store.get(DEFAULT_IMAGE_ID)
+        assert image.shape == (IMAGE_SIZE, IMAGE_SIZE)
+
+    def test_random_images_registered_sequentially(self, store):
+        a = store.new_random_image()
+        b = store.new_random_image()
+        assert b == a + 1
+        assert store.get(a).shape == (IMAGE_SIZE, IMAGE_SIZE)
+
+    def test_unknown_id_raises(self, store):
+        with pytest.raises(KeyError):
+            store.get(999)
+
+    def test_random_images_differ(self, store):
+        a = store.get(store.new_random_image())
+        b = store.get(store.new_random_image())
+        assert not np.array_equal(a, b)
+
+    def test_len_counts_images(self, store):
+        initial = len(store)
+        store.new_random_image()
+        assert len(store) == initial + 1
+
+    def test_campaign_variants_are_dhash_close(self, store):
+        base_id = store.new_campaign_base()
+        variants = [
+            store.get(store.new_campaign_variant(base_id)) for __ in range(4)
+        ]
+        base_hash = dhash(store.get(base_id))
+        for variant in variants:
+            assert hamming_distance(base_hash, dhash(variant)) <= 5
+
+    def test_unrelated_images_are_dhash_far(self, store):
+        a = dhash(store.get(store.new_random_image()))
+        b = dhash(store.get(store.new_random_image()))
+        assert hamming_distance(a, b) > 5
+
+
+class TestPerturb:
+    def test_perturb_preserves_shape_and_dtype(self):
+        rng = np.random.default_rng(0)
+        base = rng.integers(0, 255, size=(32, 32)).astype(np.uint8)
+        out = perturb_image(base, rng)
+        assert out.shape == base.shape
+        assert out.dtype == np.uint8
+
+    def test_perturb_changes_pixels_but_slightly(self):
+        rng = np.random.default_rng(0)
+        base = np.full((32, 32), 100, dtype=np.uint8)
+        out = perturb_image(base, rng, noise_std=3.0)
+        assert not np.array_equal(out, base)
+        assert np.abs(out.astype(int) - 100).mean() < 10

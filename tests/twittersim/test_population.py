@@ -1,0 +1,176 @@
+"""Tests for population generation and ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.twittersim import SimulationConfig, build_population
+from repro.twittersim.entities import AccountState
+from repro.twittersim.hashtags import HashtagCategory
+from repro.twittersim.population import AccountKind
+
+
+@pytest.fixture(scope="module")
+def population():
+    return build_population(SimulationConfig.small(seed=5))
+
+
+class TestConfigValidation:
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(n_normal_users=5)
+
+    def test_rejects_inverted_campaign_sizes(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(campaign_size_min=10, campaign_size_max=5)
+
+    def test_rejects_bad_compromised_fraction(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(compromised_fraction=1.5)
+
+    def test_rejects_bad_post_rates(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(post_rate_min=0)
+
+
+class TestPopulationStructure:
+    def test_total_account_count(self, population):
+        config = population.config
+        campaign_members = sum(
+            len(c.member_ids) for c in population.campaigns
+        )
+        expected = (
+            config.n_normal_users + campaign_members + config.n_lone_spammers
+        )
+        assert len(population.accounts) == expected
+
+    def test_every_account_has_kind(self, population):
+        for uid in population.order:
+            assert uid in population.truth.account_kind
+
+    def test_index_is_consistent(self, population):
+        for uid in population.order:
+            assert population.order[population.index_of[uid]] == uid
+
+    def test_rate_arrays_aligned(self, population):
+        assert len(population.post_rate_per_day) == len(population.order)
+        assert len(population.topic_affinity) == len(population.order)
+
+    def test_spam_accounts_have_zero_organic_rate(self, population):
+        for uid in population.spammer_ids():
+            kind = population.truth.account_kind[uid]
+            if kind is AccountKind.COMPROMISED:
+                continue  # compromised accounts keep organic behavior
+            idx = population.index_of[uid]
+            assert population.post_rate_per_day[idx] == 0.0
+
+    def test_some_compromised_accounts_exist(self, population):
+        kinds = population.truth.account_kind.values()
+        assert any(k is AccountKind.COMPROMISED for k in kinds)
+
+    def test_no_hashtag_users_exist(self, population):
+        config = population.config
+        normal = population.order[: config.n_normal_users]
+        without = sum(1 for uid in normal if not population.interests[uid])
+        fraction = without / len(normal)
+        assert 0.1 < fraction < 0.5
+
+
+class TestAttributeCoverage:
+    """Every Table II sampling bin must have candidate accounts."""
+
+    @pytest.mark.parametrize(
+        "getter,values,tolerance",
+        [
+            (lambda a: a.friends_count, (10, 100, 1000), 2.0),
+            (lambda a: a.followers_count, (10, 100, 1000), 2.0),
+            (lambda a: a.listed_count, (10, 100), 2.0),
+        ],
+    )
+    def test_profile_bins_populated(self, getter, values, tolerance):
+        population = build_population(
+            SimulationConfig(seed=1, n_normal_users=4000)
+        )
+        normal = population.order[:4000]
+        for value in values:
+            matches = [
+                uid
+                for uid in normal
+                if value / tolerance
+                <= max(getter(population.accounts[uid]), 0.5)
+                <= value * tolerance
+            ]
+            assert len(matches) >= 5, f"bin {value} has {len(matches)}"
+
+
+class TestCampaigns:
+    def test_campaign_members_share_name_prefix(self, population):
+        for campaign in population.campaigns:
+            for uid in campaign.member_ids:
+                name = population.accounts[uid].screen_name
+                assert name.startswith(campaign.name_prefix)
+
+    def test_campaign_members_marked_as_spammers(self, population):
+        for campaign in population.campaigns:
+            for uid in campaign.member_ids:
+                assert population.truth.is_spammer(uid)
+                assert population.truth.account_campaign[uid] == (
+                    campaign.campaign_id
+                )
+
+    def test_spawn_member_extends_arrays(self, population):
+        campaign = population.campaigns[0]
+        before = len(population.order)
+        new_uid = population.spawn_campaign_member(campaign, now=100.0)
+        assert len(population.order) == before + 1
+        assert new_uid in campaign.member_ids
+        assert len(population.post_rate_per_day) == len(population.order)
+
+
+class TestOperatorAccounts:
+    def test_register_operator_account(self):
+        population = build_population(SimulationConfig.small(seed=2))
+        uid = population.next_user_id()
+        account = AccountState(
+            user_id=uid,
+            screen_name="hp_test",
+            name="HP",
+            created_at=0.0,
+            description="",
+            friends_count=10,
+            followers_count=5,
+            statuses_count=0,
+            listed_count=0,
+            favourites_count=0,
+        )
+        population.register_operator_account(
+            account,
+            post_rate_per_day=6.0,
+            interests=(HashtagCategory.SOCIAL,),
+            topic_affinity=0.2,
+        )
+        idx = population.index_of[uid]
+        assert population.post_rate_per_day[idx] == 6.0
+        assert population.truth.account_kind[uid] is AccountKind.NORMAL
+
+    def test_duplicate_id_rejected(self):
+        population = build_population(SimulationConfig.small(seed=2))
+        existing = population.order[0]
+        account = population.accounts[existing]
+        with pytest.raises(ValueError):
+            population.register_operator_account(account)
+
+
+class TestDeterminism:
+    def test_same_seed_same_population(self):
+        a = build_population(SimulationConfig.small(seed=9))
+        b = build_population(SimulationConfig.small(seed=9))
+        assert a.order == b.order
+        for uid in a.order[:50]:
+            assert a.accounts[uid].snapshot() == b.accounts[uid].snapshot()
+
+    def test_different_seed_different_population(self):
+        a = build_population(SimulationConfig.small(seed=9))
+        b = build_population(SimulationConfig.small(seed=10))
+        names_a = [a.accounts[u].screen_name for u in a.order[:20]]
+        names_b = [b.accounts[u].screen_name for u in b.order[:20]]
+        assert names_a != names_b

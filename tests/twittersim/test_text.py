@@ -1,0 +1,85 @@
+"""Tests for synthetic text generation."""
+
+import numpy as np
+import pytest
+
+from repro.twittersim.text import (
+    MALICIOUS_DOMAINS,
+    SPAM_KEYWORD_CLASSES,
+    TextGenerator,
+    campaign_screen_name,
+    is_malicious_url,
+    make_url,
+    normal_screen_name,
+)
+
+
+@pytest.fixture
+def generator():
+    return TextGenerator(np.random.default_rng(0))
+
+
+class TestUrls:
+    def test_make_url_contains_domain(self):
+        rng = np.random.default_rng(0)
+        url = make_url("news.example", rng)
+        assert url.startswith("http://news.example/")
+
+    def test_malicious_url_detection(self):
+        rng = np.random.default_rng(0)
+        bad = make_url(MALICIOUS_DOMAINS[0], rng)
+        good = make_url("news.example", rng)
+        assert is_malicious_url(bad)
+        assert not is_malicious_url(good)
+
+
+class TestTextGenerator:
+    def test_benign_text_nonempty(self, generator):
+        assert len(generator.benign_text()) > 0
+
+    def test_benign_text_word_count_controls_length(self, generator):
+        short = generator.benign_text(n_words=3, emoji_prob=0, digit_prob=0)
+        assert len(short.split()) == 3
+
+    def test_spam_text_has_malicious_url(self, generator):
+        text = generator.spam_text("money", template_id=5)
+        assert is_malicious_url(text)
+
+    def test_spam_text_template_is_repetitive(self, generator):
+        a = generator.spam_text("promo", template_id=3)
+        b = generator.spam_text("promo", template_id=3)
+        # Same slogan prefix (first five words), varying URL/suffix.
+        assert a.split()[:5] == b.split()[:5]
+
+    def test_spam_text_different_templates_differ(self, generator):
+        a = generator.spam_text("promo", template_id=1)
+        b = generator.spam_text("promo", template_id=2)
+        assert a.split()[:5] != b.split()[:5]
+
+    def test_spam_text_uses_keyword_class(self, generator):
+        text = generator.spam_text("adult", template_id=0)
+        assert any(w in text for w in SPAM_KEYWORD_CLASSES["adult"])
+
+    def test_spam_text_unknown_class_raises(self, generator):
+        with pytest.raises(KeyError):
+            generator.spam_text("nonsense", template_id=0)
+
+    def test_campaign_description_near_duplicates(self, generator):
+        base = ("great", "deals", "every", "day")
+        a = generator.campaign_description(base)
+        b = generator.campaign_description(base)
+        assert a.startswith("great deals every day")
+        assert b.startswith("great deals every day")
+
+
+class TestScreenNames:
+    def test_normal_names_vary(self):
+        rng = np.random.default_rng(1)
+        names = {normal_screen_name(rng) for __ in range(50)}
+        assert len(names) > 30
+
+    def test_campaign_names_share_prefix_and_digits(self):
+        rng = np.random.default_rng(1)
+        names = [campaign_screen_name("promox", 5, rng) for __ in range(20)]
+        assert all(name.startswith("promox") for name in names)
+        assert all(name[6:].isdigit() and len(name[6:]) == 5 for name in names)

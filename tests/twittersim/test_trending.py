@@ -1,0 +1,79 @@
+"""Tests for topic dynamics and trend classification."""
+
+import numpy as np
+import pytest
+
+from repro.twittersim.trending import (
+    DEFAULT_TOPICS,
+    TopicProcess,
+    TrendingTracker,
+)
+
+
+class TestTopicProcess:
+    def test_requires_topics(self):
+        with pytest.raises(ValueError):
+            TopicProcess((), np.random.default_rng(0))
+
+    def test_weights_positive(self):
+        process = TopicProcess(DEFAULT_TOPICS, np.random.default_rng(0))
+        weights = process.weights_at(5.0)
+        assert (weights > 0).all()
+        assert len(weights) == len(DEFAULT_TOPICS)
+
+    def test_weights_change_over_time(self):
+        process = TopicProcess(DEFAULT_TOPICS, np.random.default_rng(0))
+        assert not np.allclose(process.weights_at(0.0), process.weights_at(20.0))
+
+    def test_states_sorted_descending(self):
+        process = TopicProcess(DEFAULT_TOPICS, np.random.default_rng(0))
+        states = process.states_at(3.0)
+        weights = [s.weight for s in states]
+        assert weights == sorted(weights, reverse=True)
+
+
+class TestTrendingTracker:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            TrendingTracker(window_hours=0)
+
+    def test_trending_up_detects_surge(self):
+        tracker = TrendingTracker(window_hours=2, min_count=3)
+        # "quiet" steady, "surge" explodes in recent window.
+        for hour in range(0, 4):
+            for __ in range(5):
+                tracker.record("quiet", hour)
+        for __ in range(30):
+            tracker.record("surge", 3)
+        up = tracker.top_trending_up(3)
+        assert up and up[0] == "surge"
+
+    def test_trending_down_detects_collapse(self):
+        tracker = TrendingTracker(window_hours=2, min_count=3)
+        for hour in (0, 1):
+            for __ in range(30):
+                tracker.record("fading", hour)
+        for hour in (2, 3):
+            tracker.record("fading", hour)
+            for __ in range(10):
+                tracker.record("steady", hour)
+        down = tracker.top_trending_down(3)
+        assert "fading" in down
+
+    def test_popular_ranked_by_volume(self):
+        tracker = TrendingTracker(window_hours=1)
+        for count, topic in ((30, "big"), (20, "mid"), (5, "small")):
+            for __ in range(count):
+                tracker.record(topic, 0)
+        assert tracker.top_popular(0, k=2) == ["big", "mid"]
+
+    def test_low_volume_not_trending_up(self):
+        tracker = TrendingTracker(window_hours=1, min_count=5)
+        tracker.record("whisper", 1)
+        assert "whisper" not in tracker.top_trending_up(1)
+
+    def test_all_topics_seen(self):
+        tracker = TrendingTracker()
+        tracker.record("a", 0)
+        tracker.record("b", 4)
+        assert tracker.all_topics_seen() == {"a", "b"}
