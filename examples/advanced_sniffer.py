@@ -9,17 +9,27 @@ Reproduces the paper's Section V-E workflow end to end:
 5. race it against a random-account network over the *same* hours
    (Figure 6) and report the PGE multiple.
 
+Observability is on: INFO logging marks phase boundaries and the
+session finishes with the exported run report's per-phase
+captures/node-hour table.
+
 Run:  python examples/advanced_sniffer.py           (small, ~1 min)
       REPRO_SCALE=medium python examples/advanced_sniffer.py
 """
 
+import logging
 import os
 
+from repro import configure_logging
 from repro.analysis.session import get_session
 from repro.analysis.tables import render_table
+from repro.obs import SUMMARY_HEADERS, reset as reset_obs
 
 
 def main() -> None:
+    configure_logging(logging.INFO)
+    reset_obs()
+
     scale = os.environ.get("REPRO_SCALE", "small")
     print(f"Running the reproduction session at scale={scale!r}...")
     session = get_session(scale)
@@ -72,6 +82,22 @@ def main() -> None:
     )
     ratio = rows[0][3] / max(rows[1][3], 1)
     print(f"\nAdvanced pseudo-honeypot garners {ratio:.1f}x the spammers.")
+
+    report = session.experiment.export_report(
+        f"results/advanced_sniffer_report_{scale}.json", scale=scale
+    )
+    print(
+        "\n"
+        + render_table(
+            SUMMARY_HEADERS,
+            report.summary_rows(),
+            title="Run report: captures per node-hour by phase",
+        )
+    )
+    print(
+        "Full phase tree saved to "
+        f"results/advanced_sniffer_report_{scale}.json"
+    )
 
 
 if __name__ == "__main__":

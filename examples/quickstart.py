@@ -9,15 +9,26 @@ Walks the paper's whole loop once, at toy scale:
 4. train the Random-Forest detector on the labels;
 5. classify a fresh capture and report spams/spammers.
 
+Observability is on: phase boundaries are logged as they happen and
+the closing summary is the per-phase captures/node-hour table from the
+exported :class:`repro.obs.RunReport`.
+
 Run:  python examples/quickstart.py
 """
 
+import logging
+
+from repro import configure_logging
 from repro.analysis.tables import render_table
 from repro.core import PseudoHoneypotExperiment, SelectionPlan
+from repro.obs import SUMMARY_HEADERS, reset as reset_obs
 from repro.twittersim import SimulationConfig
 
 
 def main() -> None:
+    configure_logging(logging.INFO)
+    reset_obs()
+
     print("Building the synthetic Twitter world...")
     experiment = PseudoHoneypotExperiment(
         SimulationConfig.small(seed=42), candidate_pool=500
@@ -28,7 +39,6 @@ def main() -> None:
     collection = experiment.collect_ground_truth(
         hours=8, n_targets=8, per_value=5
     )
-    print(f"  captured {collection.n_captures} tweets")
 
     print("Labeling ground truth (suspension, clustering, rules, manual)...")
     dataset = experiment.label_ground_truth(collection)
@@ -64,6 +74,17 @@ def main() -> None:
         f"Simulator ground truth confirms {confirmed}/"
         f"{outcome.n_spammers} flagged accounts are real spammers."
     )
+
+    report = experiment.export_report("results/quickstart_report.json")
+    print(
+        "\n"
+        + render_table(
+            SUMMARY_HEADERS,
+            report.summary_rows(),
+            title="Run report: captures per node-hour by phase",
+        )
+    )
+    print("Full phase tree saved to results/quickstart_report.json")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,95 @@
+"""CI smoke step: run a tiny instrumented experiment, export the report.
+
+Runs the paper's full phase sequence at toy scale with observability
+on, writes ``results/obs_smoke.json``, and exits non-zero if the
+exported report fails basic reconciliation (phase spans present,
+capture counts consistent with the returned runs).  Intended to sit
+alongside the tier-1 pytest command in CI:
+
+    PYTHONPATH=src python scripts/smoke_report.py
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import configure_logging  # noqa: E402
+from repro.core import PseudoHoneypotExperiment, SelectionPlan  # noqa: E402
+from repro.obs import reset, set_enabled  # noqa: E402
+from repro.twittersim import SimulationConfig  # noqa: E402
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "results" / "obs_smoke.json"
+
+REQUIRED_SPANS = (
+    "experiment.warm_up",
+    "experiment.collect_ground_truth",
+    "experiment.label_ground_truth",
+    "experiment.train_detector",
+    "experiment.run_plan",
+    "experiment.classify",
+    "network.deploy",
+    "label.minhash",
+    "ml.fit",
+)
+
+
+def main() -> int:
+    configure_logging(logging.INFO)
+    reset()
+    set_enabled(True)
+
+    experiment = PseudoHoneypotExperiment(
+        SimulationConfig.small(seed=42), candidate_pool=500
+    )
+    experiment.warm_up(4)
+    collection = experiment.collect_ground_truth(
+        hours=5, n_targets=6, per_value=4
+    )
+    dataset = experiment.label_ground_truth(collection)
+    detector = experiment.train_detector(collection, dataset)
+    sweep = experiment.run_plan(
+        SelectionPlan.full_paper_plan(per_value=1), hours=3
+    )
+    outcome = experiment.classify(detector, sweep)
+
+    report = experiment.export_report(OUT_PATH, scale="smoke")
+    print(report.render_summary())
+
+    failures: list[str] = []
+    for name in REQUIRED_SPANS:
+        if not report.find(name):
+            failures.append(f"missing span {name!r}")
+    (collect_span,) = report.find("experiment.collect_ground_truth")
+    if collect_span.attributes.get("captures") != collection.n_captures:
+        failures.append(
+            "collect span captures "
+            f"{collect_span.attributes.get('captures')} != "
+            f"NetworkRun.n_captures {collection.n_captures}"
+        )
+    total_captures = report.metrics["counters"].get("network.captures")
+    expected_total = collection.n_captures + sweep.n_captures
+    if total_captures != expected_total:
+        failures.append(
+            f"network.captures counter {total_captures} != "
+            f"collection+sweep {expected_total}"
+        )
+    if dataset.n_tweets != collection.n_captures:
+        failures.append("labeled tweet count diverged from collection")
+    if outcome.n_tweets != sweep.n_captures:
+        failures.append("classified tweet count diverged from sweep")
+
+    if failures:
+        print("\nSMOKE FAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nSmoke report OK: {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,9 +9,58 @@ Packages:
 * :mod:`repro.labeling` -- the four-stage ground-truth pipeline;
 * :mod:`repro.core` -- the pseudo-honeypot system itself;
 * :mod:`repro.baselines` -- honeypot and random-monitor comparators;
-* :mod:`repro.analysis` -- table/figure regeneration helpers.
+* :mod:`repro.analysis` -- table/figure regeneration helpers;
+* :mod:`repro.obs` -- metrics, phase tracing, and run reports.
+
+Logging: every module logs under the ``repro`` hierarchy (e.g.
+``repro.core.network``).  The root ``repro`` logger carries a
+``NullHandler`` so library users see nothing unless they opt in --
+either through their own ``logging`` configuration or via
+:func:`configure_logging`.
 """
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "configure_logging"]
+
+logging.getLogger("repro").addHandler(logging.NullHandler())
+
+#: The handler installed by :func:`configure_logging`, tracked so
+#: repeated calls reconfigure instead of stacking duplicate handlers.
+_CONFIGURED_HANDLER: logging.Handler | None = None
+
+
+def configure_logging(
+    level: int | str = logging.INFO, stream: IO[str] | None = None
+) -> logging.Logger:
+    """Opt the ``repro`` hierarchy into console logging.
+
+    Idempotent: calling again replaces the previously installed handler
+    (no double-handler spam), so examples and benchmarks can call it
+    unconditionally.
+
+    Args:
+        level: threshold for the ``repro`` logger (name or number).
+        stream: destination, default ``sys.stderr``.
+
+    Returns:
+        The configured ``repro`` logger.
+    """
+    global _CONFIGURED_HANDLER
+    logger = logging.getLogger("repro")
+    if _CONFIGURED_HANDLER is not None:
+        logger.removeHandler(_CONFIGURED_HANDLER)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    _CONFIGURED_HANDLER = handler
+    return logger

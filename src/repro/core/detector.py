@@ -19,6 +19,7 @@ from ..features.extractor import FeatureExtractor
 from ..labeling.pipeline import LabeledDataset
 from ..ml.base import Classifier
 from ..ml.forest import RandomForestClassifier
+from ..obs import get_registry, trace
 from .monitor import CapturedTweet
 
 
@@ -106,8 +107,17 @@ class PseudoHoneypotDetector:
         order = np.argsort([c.tweet.created_at for c in captures])
         captures = [captures[i] for i in order]
         labels = np.asarray(labels)[order]
-        X = self.extract_features(captures, labels)
-        self.classifier.fit(X, labels)
+        with trace("ml.fit") as span:
+            with trace("ml.extract_features") as extract_span:
+                X = self.extract_features(captures, labels)
+                extract_span.set(n_rows=X.shape[0], n_features=X.shape[1])
+            self.classifier.fit(X, labels)
+            span.set(
+                n_samples=len(captures),
+                n_spam_labels=int(np.asarray(labels).sum()),
+                classifier=type(self.classifier).__name__,
+            )
+        get_registry().counter("ml.fits").inc()
         self._fitted = True
         return self
 

@@ -18,11 +18,14 @@ Every run is reproducible from the experiment seed.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
+from pathlib import Path
 
 from ..labeling.manual import ManualChecker
 from ..labeling.pipeline import GroundTruthLabeler, LabeledDataset
 from ..ml.base import Classifier
+from ..obs import RunReport, trace
 from ..twittersim.api.rest import RestClient
 from ..twittersim.config import SimulationConfig
 from ..twittersim.engine import TwitterEngine
@@ -32,6 +35,8 @@ from .monitor import CapturedTweet
 from .network import ExposureLedger, PseudoHoneypotNetwork
 from .portability import ActivityPolicy
 from .selection import AttributeSelector, SelectionPlan
+
+log = logging.getLogger("repro.core.experiment")
 
 
 @dataclass
@@ -87,7 +92,9 @@ class PseudoHoneypotExperiment:
 
     def warm_up(self, hours: int = 4) -> None:
         """Run unmonitored hours so trending and timelines populate."""
-        self.engine.run_hours(hours)
+        log.info("phase warm_up: %d unmonitored hours", hours)
+        with trace("experiment.warm_up", hours=hours):
+            self.engine.run_hours(hours)
 
     def run_plan(
         self,
@@ -97,21 +104,28 @@ class PseudoHoneypotExperiment:
         seed_offset: int = 0,
     ) -> NetworkRun:
         """Deploy a plan for ``hours`` monitored hours and collect."""
-        network = PseudoHoneypotNetwork(
-            self.engine,
-            self.make_selector(seed_offset),
-            plan,
-            switch_every_hours=switch_every_hours,
-        )
-        network.deploy()
-        network.run_hours(hours)
-        network.shutdown()
-        return NetworkRun(
-            captures=network.monitor.captured,
-            exposure=network.exposure,
-            n_nodes_requested=plan.total_requested,
-            hours=hours,
-        )
+        with trace("experiment.run_plan", hours=hours) as span:
+            network = PseudoHoneypotNetwork(
+                self.engine,
+                self.make_selector(seed_offset),
+                plan,
+                switch_every_hours=switch_every_hours,
+            )
+            network.deploy()
+            network.run_hours(hours)
+            network.shutdown()
+            run = NetworkRun(
+                captures=network.monitor.captured,
+                exposure=network.exposure,
+                n_nodes_requested=plan.total_requested,
+                hours=hours,
+            )
+            span.set(
+                captures=run.n_captures,
+                node_hours=sum(run.exposure.by_attribute.values()),
+                nodes_requested=plan.total_requested,
+            )
+        return run
 
     # -- paper phases ----------------------------------------------------
 
@@ -123,15 +137,30 @@ class PseudoHoneypotExperiment:
         Paper configuration: 100 nodes (10 random attributes x 10
         accounts), 300 hours.
         """
+        log.info(
+            "phase collect_ground_truth: %d hours, %d targets x %d accounts",
+            hours,
+            n_targets,
+            per_value,
+        )
         plan = SelectionPlan.random_plan(
             n_targets, per_value, seed=self.config.seed + 17
         )
-        return self.run_plan(plan, hours, seed_offset=17)
+        with trace("experiment.collect_ground_truth", hours=hours) as span:
+            run = self.run_plan(plan, hours, seed_offset=17)
+            span.set(
+                captures=run.n_captures,
+                node_hours=sum(run.exposure.by_attribute.values()),
+            )
+        return run
 
     def label_ground_truth(
         self, run: NetworkRun, unlabeled_audit_rate: float = 0.1
     ) -> LabeledDataset:
         """Phase 2: four-stage labeling of a collection run (Table III)."""
+        log.info(
+            "phase label_ground_truth: %d captured tweets", run.n_captures
+        )
         checker = ManualChecker(
             self.population.truth,
             error_rate=self.manual_error_rate,
@@ -143,7 +172,17 @@ class PseudoHoneypotExperiment:
             unlabeled_audit_rate=unlabeled_audit_rate,
             minhash_seed=self.config.seed,
         )
-        return labeler.label([capture.tweet for capture in run.captures])
+        with trace("experiment.label_ground_truth") as span:
+            dataset = labeler.label(
+                [capture.tweet for capture in run.captures]
+            )
+            span.set(
+                n_tweets=dataset.n_tweets,
+                n_spams=dataset.n_spams,
+                n_users=dataset.n_users,
+                n_spammers=dataset.n_spammers,
+            )
+        return dataset
 
     def train_detector(
         self,
@@ -152,23 +191,55 @@ class PseudoHoneypotExperiment:
         classifier: Classifier | None = None,
     ) -> PseudoHoneypotDetector:
         """Phase 3: fit the detector on the labeled ground truth."""
+        log.info(
+            "phase train_detector: %d captures, %d labeled spams",
+            run.n_captures,
+            dataset.n_spams,
+        )
         detector = PseudoHoneypotDetector(classifier=classifier)
-        return detector.fit_from_ground_truth(run.captures, dataset)
+        with trace("experiment.train_detector") as span:
+            detector.fit_from_ground_truth(run.captures, dataset)
+            span.set(
+                n_training_tweets=dataset.n_tweets,
+                n_training_spams=dataset.n_spams,
+            )
+        return detector
 
     def run_full_network(
         self, hours: int, per_value: int = 10
     ) -> NetworkRun:
         """Phase 4: the Table-I/II attribute sweep (2,400 nodes at
         ``per_value=10``)."""
-        return self.run_plan(
-            SelectionPlan.full_paper_plan(per_value), hours, seed_offset=29
+        log.info(
+            "phase run_full_network: %d hours at per_value=%d",
+            hours,
+            per_value,
         )
+        with trace("experiment.run_full_network", hours=hours) as span:
+            run = self.run_plan(
+                SelectionPlan.full_paper_plan(per_value),
+                hours,
+                seed_offset=29,
+            )
+            span.set(
+                captures=run.n_captures,
+                node_hours=sum(run.exposure.by_attribute.values()),
+            )
+        return run
 
     def classify(
         self, detector: PseudoHoneypotDetector, run: NetworkRun
     ) -> ClassificationOutcome:
         """Phase 5: detector verdicts over a network run's captures."""
-        return detector.classify(run.captures)
+        log.info("phase classify: %d captures", run.n_captures)
+        with trace("experiment.classify") as span:
+            outcome = detector.classify(run.captures)
+            span.set(
+                captures=run.n_captures,
+                n_spams=outcome.n_spams,
+                n_spammers=outcome.n_spammers,
+            )
+        return outcome
 
     def run_plans_concurrently(
         self,
@@ -200,19 +271,62 @@ class PseudoHoneypotExperiment:
         hours: int,
     ) -> dict[str, NetworkRun]:
         """Drive already-deployed networks through shared hours."""
-        for __ in range(hours):
-            for network in networks.values():
-                network.prepare_hour()
-            self.engine.run_hour()
-            for network in networks.values():
-                network.finish_hour()
-        runs = {}
-        for name, network in networks.items():
-            network.shutdown()
-            runs[name] = NetworkRun(
-                captures=network.monitor.captured,
-                exposure=network.exposure,
-                n_nodes_requested=network.plan.total_requested,
-                hours=hours,
+        log.info(
+            "phase run_networks: %s over %d shared hours",
+            "/".join(networks) or "-",
+            hours,
+        )
+        with trace("experiment.run_networks", hours=hours) as span:
+            for __ in range(hours):
+                for network in networks.values():
+                    network.prepare_hour()
+                self.engine.run_hour()
+                for network in networks.values():
+                    network.finish_hour()
+            runs = {}
+            for name, network in networks.items():
+                network.shutdown()
+                runs[name] = NetworkRun(
+                    captures=network.monitor.captured,
+                    exposure=network.exposure,
+                    n_nodes_requested=network.plan.total_requested,
+                    hours=hours,
+                )
+            span.set(
+                captures=sum(run.n_captures for run in runs.values()),
+                node_hours=sum(
+                    sum(run.exposure.by_attribute.values())
+                    for run in runs.values()
+                ),
+                captures_by_network={
+                    name: run.n_captures for name, run in runs.items()
+                },
             )
         return runs
+
+    # -- reporting -------------------------------------------------------
+
+    def export_report(
+        self, path: str | Path | None = None, **meta: object
+    ) -> RunReport:
+        """Snapshot the global phase tree + metrics as a `RunReport`.
+
+        The report's ``experiment.*`` span attributes reconcile exactly
+        with the phase return values (``NetworkRun.n_captures``,
+        ``LabeledDataset`` counts), making it the artifact perf PRs
+        diff against.
+
+        Args:
+            path: if given, also write the report JSON there.
+            **meta: free-form metadata recorded in the report.
+
+        Returns:
+            The captured report.
+        """
+        meta.setdefault("seed", self.config.seed)
+        meta.setdefault("engine_hours", self.engine.clock.hour)
+        report = RunReport.capture(**meta)
+        if path is not None:
+            report.save(path)
+            log.info("run report exported to %s", path)
+        return report

@@ -16,6 +16,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from ..obs import get_registry
 from ..twittersim.entities import Tweet
 from .selection import HoneypotNode
 
@@ -54,6 +55,13 @@ class PseudoHoneypotMonitor:
         self._nodes_by_name: dict[str, HoneypotNode] = {}
         self._hour = 0
         self.captured: list[CapturedTweet] = []
+        registry = get_registry()
+        self._m_captures = registry.counter("network.captures")
+        self._m_drops = registry.counter("network.drops")
+        self._m_by_category = {
+            category: registry.counter(f"network.captures.{category.value}")
+            for category in CaptureCategory
+        }
 
     @property
     def node_ids(self) -> set[int]:
@@ -76,6 +84,9 @@ class PseudoHoneypotMonitor:
             if node is not None and node is not author_node:
                 crossed.append(node)
         if not crossed:
+            # Matched by the stream filter but no longer crossing a
+            # deployed node (e.g. delivered just after a switch).
+            self._m_drops.inc()
             return
         category = (
             CaptureCategory.OWN_POST
@@ -96,6 +107,8 @@ class PseudoHoneypotMonitor:
                 node_user_ids=tuple(n.user_id for n in crossed),
             )
         )
+        self._m_captures.inc()
+        self._m_by_category[category].inc()
 
     def drain(self) -> list[CapturedTweet]:
         """Return and clear the capture buffer."""

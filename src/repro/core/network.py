@@ -9,13 +9,17 @@ normalizes by it (G_i * T_i).
 
 from __future__ import annotations
 
+import logging
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from ..obs import get_registry, trace
 from ..twittersim.api.streaming import FilteredStream, StreamingClient
 from ..twittersim.engine import TwitterEngine
 from .monitor import CapturedTweet, PseudoHoneypotMonitor
 from .selection import AttributeSelector, HoneypotNode, SelectionPlan
+
+log = logging.getLogger("repro.core.network")
 
 
 @dataclass
@@ -66,6 +70,13 @@ class PseudoHoneypotNetwork:
         self.current_nodes: list[HoneypotNode] = []
         self._stream: FilteredStream | None = None
         self._hours_since_switch = 0
+        self._captures_at_hour_start = 0
+        registry = get_registry()
+        self._m_nodes_deployed = registry.counter("network.nodes_deployed")
+        self._m_switches = registry.counter("network.switches")
+        self._m_node_churn = registry.counter("network.node_churn")
+        self._m_empty_hours = registry.counter("network.empty_capture_hours")
+        self._m_fill_rate = registry.histogram("network.selector_fill_rate")
 
     @property
     def deployed(self) -> bool:
@@ -80,16 +91,51 @@ class PseudoHoneypotNetwork:
         """
         if self.deployed:
             raise RuntimeError("network is already deployed")
-        self.current_nodes = self.selector.select(
-            self.plan, self.engine.clock.now
-        )
-        self.monitor.set_nodes(self.current_nodes, self.engine.clock.hour)
-        client = StreamingClient(self.engine)
-        self._stream = client.filter(
-            [node.track_term for node in self.current_nodes],
-            listener=self.monitor,
+        with trace("network.deploy") as span:
+            self.current_nodes = self.selector.select(
+                self.plan, self.engine.clock.now
+            )
+            self.monitor.set_nodes(self.current_nodes, self.engine.clock.hour)
+            client = StreamingClient(self.engine)
+            self._stream = client.filter(
+                [node.track_term for node in self.current_nodes],
+                listener=self.monitor,
+            )
+            self._m_nodes_deployed.inc(len(self.current_nodes))
+            self._record_selection(span)
+        log.info(
+            "deployed %d/%d pseudo-honeypot nodes at hour %d",
+            len(self.current_nodes),
+            self.plan.total_requested,
+            self.engine.clock.hour,
         )
         return self.current_nodes
+
+    def _record_selection(self, span) -> None:
+        """Fill-rate accounting + shortfall anomaly of one selection."""
+        requested = self.plan.total_requested
+        selected = len(self.current_nodes)
+        fill_rate = selected / requested if requested else 1.0
+        self._m_fill_rate.observe(fill_rate)
+        span.set(
+            nodes_requested=requested,
+            nodes_selected=selected,
+            fill_rate=round(fill_rate, 4),
+        )
+        if selected < requested:
+            report = self.selector.last_report
+            shortfalls = getattr(report, "shortfalls", None) or {}
+            worst = sorted(
+                shortfalls.items(), key=lambda kv: -kv[1]
+            )[:3]
+            log.warning(
+                "selector fell short of plan: %d/%d nodes at hour %d "
+                "(worst shortfalls: %s)",
+                selected,
+                requested,
+                self.engine.clock.hour,
+                ", ".join(f"{k}={v}" for k, v in worst) or "n/a",
+            )
 
     def prepare_hour(self) -> None:
         """Pre-hour bookkeeping: portability switch + exposure record.
@@ -108,10 +154,18 @@ class PseudoHoneypotNetwork:
         if self._hours_since_switch >= self.switch_every_hours:
             self._switch_nodes()
         self.exposure.record_hour(self.current_nodes)
+        self._captures_at_hour_start = len(self.monitor.captured)
 
     def finish_hour(self) -> None:
         """Post-hour bookkeeping counterpart of :meth:`prepare_hour`."""
         self._hours_since_switch += 1
+        if len(self.monitor.captured) == self._captures_at_hour_start:
+            self._m_empty_hours.inc()
+            log.warning(
+                "empty capture hour %d: %d deployed nodes captured nothing",
+                self.engine.clock.hour - 1,
+                len(self.current_nodes),
+            )
 
     def run_hour(self) -> None:
         """Advance the platform one hour under monitoring.
@@ -131,8 +185,13 @@ class PseudoHoneypotNetwork:
 
     def shutdown(self) -> None:
         """Disconnect the stream (idempotent)."""
-        if self._stream is not None:
+        if self._stream is not None and self._stream.connected:
             self._stream.disconnect()
+            log.info(
+                "network shut down after %d monitored hours, %d captures",
+                self.exposure.hours,
+                len(self.monitor.captured),
+            )
 
     @property
     def captured(self) -> list[CapturedTweet]:
@@ -140,12 +199,23 @@ class PseudoHoneypotNetwork:
         return self.monitor.captured
 
     def _switch_nodes(self) -> None:
-        self.current_nodes = self.selector.select(
-            self.plan, self.engine.clock.now
-        )
-        self.monitor.set_nodes(self.current_nodes, self.engine.clock.hour)
-        assert self._stream is not None
-        self._stream.update_filter(
-            [node.track_term for node in self.current_nodes]
-        )
-        self._hours_since_switch = 0
+        with trace("network.switch") as span:
+            previous = {node.user_id for node in self.current_nodes}
+            self.current_nodes = self.selector.select(
+                self.plan, self.engine.clock.now
+            )
+            self.monitor.set_nodes(self.current_nodes, self.engine.clock.hour)
+            assert self._stream is not None
+            self._stream.update_filter(
+                [node.track_term for node in self.current_nodes]
+            )
+            self._hours_since_switch = 0
+            churn = sum(
+                1
+                for node in self.current_nodes
+                if node.user_id not in previous
+            )
+            self._m_switches.inc()
+            self._m_node_churn.inc(churn)
+            self._record_selection(span)
+            span.set(node_churn=churn)

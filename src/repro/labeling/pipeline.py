@@ -21,11 +21,13 @@ Table III accounting.
 
 from __future__ import annotations
 
+import logging
 from collections import defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import get_registry, trace
 from ..twittersim.api.rest import RestClient
 from ..twittersim.entities import Tweet
 from ..twittersim.images import DEFAULT_IMAGE_ID
@@ -44,6 +46,8 @@ from .suspended import find_suspended
 
 #: Stage names in Table III row order.
 METHODS = ("suspended", "clustering", "rule_based", "human")
+
+log = logging.getLogger("repro.labeling.pipeline")
 
 
 @dataclass
@@ -171,19 +175,52 @@ class GroundTruthLabeler:
                     if i not in spam_tweet:
                         spam_tweet[i] = method
 
+        registry = get_registry()
+
+        def stage_span(span, stage: str, before: tuple[int, int]) -> None:
+            """Annotate a finished stage with its newly-labeled deltas."""
+            new_spams = len(spam_tweet) - before[0]
+            new_spammers = len(spam_user) - before[1]
+            span.set(
+                new_spams=new_spams,
+                new_spammers=new_spammers,
+                total_spams=len(spam_tweet),
+                total_spammers=len(spam_user),
+            )
+            registry.counter(f"label.{stage}.spams").inc(max(new_spams, 0))
+            registry.counter(f"label.{stage}.spammers").inc(
+                max(new_spammers, 0)
+            )
+            log.info(
+                "labeling stage %s: %+d spams, %+d spammers",
+                stage,
+                new_spams,
+                new_spammers,
+            )
+
         # -- Stage 1: suspended accounts --------------------------------
         if self.enable_suspended:
-            for uid in find_suspended(self.rest, unique_users):
-                mark_user(uid, "suspended")
+            with trace("label.suspended") as span:
+                before = (len(spam_tweet), len(spam_user))
+                for uid in find_suspended(self.rest, unique_users):
+                    mark_user(uid, "suspended")
+                stage_span(span, "suspended", before)
 
         # -- Stage 2: clustering -----------------------------------------
         if self.enable_clustering:
-            user_groups = self._user_groups(unique_users, profile_of)
-            tweet_groups = group_near_duplicates(tweets, self.hasher)
-            self._propagate(
-                tweets, unique_users, user_groups, tweet_groups,
-                tweets_of_user, spam_user, spam_tweet, mark_user,
-            )
+            with trace("label.clustering") as span:
+                before = (len(spam_tweet), len(spam_user))
+                user_groups = self._user_groups(unique_users, profile_of)
+                with trace("label.neardup") as ndspan:
+                    tweet_groups = group_near_duplicates(
+                        tweets, self.hasher
+                    )
+                    ndspan.set(groups=len(tweet_groups))
+                self._propagate(
+                    tweets, unique_users, user_groups, tweet_groups,
+                    tweets_of_user, spam_user, spam_tweet, mark_user,
+                )
+                stage_span(span, "clustering", before)
 
         # -- Stage 3: rule-based -----------------------------------------
         name_groups = group_by_pattern(
@@ -195,22 +232,31 @@ class GroundTruthLabeler:
         ]
         symbol_spam = symbol_affiliation_spam(tweets, name_groups_tweets)
         if self.enable_rules:
-            ctx = StreamContext()
-            for i, tweet in enumerate(tweets):
-                already = i in spam_tweet
-                if not already:
-                    if is_seed_account(tweet):
-                        nonspam_tweet.add(i)
-                    elif is_rule_spam(tweet, ctx) or i in symbol_spam:
-                        spam_tweet[i] = "rule_based"
-                        if tweet.user.user_id not in spam_user:
-                            spam_user[tweet.user.user_id] = "rule_based"
-                ctx.observe(tweet)
+            with trace("label.rule_based") as span:
+                before = (len(spam_tweet), len(spam_user))
+                ctx = StreamContext()
+                for i, tweet in enumerate(tweets):
+                    already = i in spam_tweet
+                    if not already:
+                        if is_seed_account(tweet):
+                            nonspam_tweet.add(i)
+                        elif is_rule_spam(tweet, ctx) or i in symbol_spam:
+                            spam_tweet[i] = "rule_based"
+                            if tweet.user.user_id not in spam_user:
+                                spam_user[tweet.user.user_id] = "rule_based"
+                    ctx.observe(tweet)
+                stage_span(span, "rule_based", before)
 
         # -- Stage 4: manual checking ------------------------------------
         if self.enable_manual:
-            self._manual_pass(tweets, unique_users, spam_user, spam_tweet)
+            with trace("label.manual") as span:
+                before = (len(spam_tweet), len(spam_user))
+                self._manual_pass(
+                    tweets, unique_users, spam_user, spam_tweet
+                )
+                stage_span(span, "manual", before)
 
+        registry.counter("label.tweets_labeled").inc(len(tweets))
         return self._assemble(
             tweets, unique_users, spam_user, spam_tweet
         )
@@ -224,29 +270,38 @@ class GroundTruthLabeler:
         groups: list[list[int]] = []
         # Profile-image dHash (default avatars excluded: the shared
         # platform egg is not campaign evidence).
-        image_users = [
-            uid
-            for uid in unique_users
-            if profile_of[uid].profile_image_id != DEFAULT_IMAGE_ID
-        ]
-        hashes = []
-        for uid in image_users:
-            image = self.rest.get_profile_image(
-                profile_of[uid].profile_image_id
-            )
-            hashes.append(dhash(image))
-        for group in group_by_dhash(hashes):
-            groups.append([image_users[i] for i in group])
+        with trace("label.dhash") as span:
+            image_users = [
+                uid
+                for uid in unique_users
+                if profile_of[uid].profile_image_id != DEFAULT_IMAGE_ID
+            ]
+            hashes = []
+            for uid in image_users:
+                image = self.rest.get_profile_image(
+                    profile_of[uid].profile_image_id
+                )
+                hashes.append(dhash(image))
+            for group in group_by_dhash(hashes):
+                groups.append([image_users[i] for i in group])
+            span.set(hashed=len(image_users), groups=len(groups))
         # Screen-name patterns.
-        for group in group_by_pattern(
-            [profile_of[uid].screen_name for uid in unique_users]
-        ):
-            groups.append([unique_users[i] for i in group])
+        with trace("label.screenname") as span:
+            n_before = len(groups)
+            for group in group_by_pattern(
+                [profile_of[uid].screen_name for uid in unique_users]
+            ):
+                groups.append([unique_users[i] for i in group])
+            span.set(groups=len(groups) - n_before)
         # Description MinHash.
-        for group in group_by_signature(
-            [profile_of[uid].description for uid in unique_users], self.hasher
-        ):
-            groups.append([unique_users[i] for i in group])
+        with trace("label.minhash") as span:
+            n_before = len(groups)
+            for group in group_by_signature(
+                [profile_of[uid].description for uid in unique_users],
+                self.hasher,
+            ):
+                groups.append([unique_users[i] for i in group])
+            span.set(groups=len(groups) - n_before)
         return groups
 
     def _propagate(

@@ -7,11 +7,13 @@ provides the seeded, stratified machinery for that comparison.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
 
+from ..obs import get_registry, trace
 from .base import Classifier
 from .metrics import ClassificationReport, classification_report
 
@@ -156,11 +158,23 @@ def cross_validate(
     y = np.asarray(y, dtype=np.int64)
     splitter = StratifiedKFold(n_splits=n_splits, seed=seed)
     reports: list[ClassificationReport] = []
-    for train_idx, test_idx in splitter.split(y):
-        model = make_classifier()  # type: ignore[operator]
-        model.fit(X[train_idx], y[train_idx])
-        y_pred = model.predict(X[test_idx])
-        reports.append(classification_report(y[test_idx], y_pred))
+    fold_seconds = get_registry().histogram("ml.cv_fold_seconds")
+    with trace(
+        "ml.cross_validate", n_splits=n_splits, n_samples=len(y)
+    ) as span:
+        for train_idx, test_idx in splitter.split(y):
+            fold_start = time.perf_counter()
+            model = make_classifier()  # type: ignore[operator]
+            model.fit(X[train_idx], y[train_idx])
+            y_pred = model.predict(X[test_idx])
+            reports.append(classification_report(y[test_idx], y_pred))
+            fold_seconds.observe(time.perf_counter() - fold_start)
+        span.set(
+            classifier=type(model).__name__,
+            mean_accuracy=round(
+                float(np.mean([r.accuracy for r in reports])), 6
+            ),
+        )
     mean = ClassificationReport(
         accuracy=float(np.mean([r.accuracy for r in reports])),
         precision=float(np.mean([r.precision for r in reports])),

@@ -1,0 +1,97 @@
+"""Observability: metrics, phase tracing, and run reports.
+
+The paper's whole argument is quantitative (PGE = ``N_i / (G_i *
+T_i)``, captures per node-hour), so the reproduction carries its own
+zero-dependency instrumentation layer:
+
+* a process-global :class:`~repro.obs.metrics.MetricsRegistry` of
+  counters, gauges, and histograms (``get_registry()``);
+* a span :class:`~repro.obs.tracing.Tracer` for nested wall-clock
+  phase timing (``with trace("label.minhash"): ...``);
+* :class:`~repro.obs.report.RunReport`, the JSON phase-tree artifact
+  that benchmarks and perf PRs diff against.
+
+Span taxonomy (dotted, one namespace per layer):
+
+``engine.*``     platform simulation (per-hour metrics only, no spans)
+``network.*``    deploy / switch / shutdown of a pseudo-honeypot net
+``label.*``      the four Table-III labeling stages
+``ml.*``         detector fit and cross-validation
+``experiment.*`` the paper's end-to-end phases
+
+Everything is resettable (``reset()``) for test isolation and cheaply
+disableable (``set_enabled(False)``) so instrumented hot paths cost a
+flag check when observability is off.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import SUMMARY_HEADERS, RunReport
+from .tracing import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "RunReport",
+    "SUMMARY_HEADERS",
+    "Span",
+    "Tracer",
+    "disabled",
+    "get_registry",
+    "get_tracer",
+    "is_enabled",
+    "reset",
+    "set_enabled",
+    "trace",
+]
+
+_REGISTRY = MetricsRegistry(enabled=True)
+_TRACER = Tracer(_REGISTRY)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _REGISTRY
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (shares the registry's enabled flag)."""
+    return _TRACER
+
+
+def trace(name: str, **attributes):
+    """Open a global span: ``with trace("experiment.classify"): ...``."""
+    return _TRACER.trace(name, **attributes)
+
+
+def is_enabled() -> bool:
+    """Whether instruments and spans currently record anything."""
+    return _REGISTRY.enabled
+
+
+def set_enabled(enabled: bool) -> None:
+    """Globally switch recording on/off (off = no-op writes)."""
+    _REGISTRY.enabled = bool(enabled)
+
+
+@contextmanager
+def disabled():
+    """Temporarily disable recording for a block."""
+    previous = _REGISTRY.enabled
+    _REGISTRY.enabled = False
+    try:
+        yield
+    finally:
+        _REGISTRY.enabled = previous
+
+
+def reset() -> None:
+    """Zero every metric and drop every span (test isolation)."""
+    _REGISTRY.reset()
+    _TRACER.reset()

@@ -24,12 +24,15 @@ whole-world runs are reproducible.
 from __future__ import annotations
 
 import heapq
+import logging
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 import numpy as np
 
+from ..obs import get_registry
 from . import behavior
 from .campaigns import SpammerTasteModel
 from .clock import SECONDS_PER_HOUR, SimClock
@@ -41,6 +44,8 @@ from .text import TextGenerator
 from .trending import DEFAULT_TOPICS, TopicProcess, TrendingTracker
 
 TweetCallback = Callable[[Tweet], None]
+
+log = logging.getLogger("repro.twittersim.engine")
 
 
 @dataclass(order=True)
@@ -119,6 +124,17 @@ class TwitterEngine:
             self.rng.random(len(population.order))
             < config.session_on_fraction
         )
+        # Hot-path instruments, resolved once (registry.reset() keeps
+        # instrument identity, so these stay live across test resets).
+        registry = get_registry()
+        self._m_posts = registry.counter("engine.organic_posts")
+        self._m_replies = registry.counter("engine.organic_replies")
+        self._m_spam = registry.counter("engine.spam_mentions")
+        self._m_suspensions = registry.counter("engine.suspensions")
+        self._m_hours = registry.counter("engine.hours")
+        self._m_spam_rate = registry.gauge("engine.spam_rate")
+        self._m_hour_seconds = registry.histogram("engine.hour_seconds")
+        self._m_hour_tweets = registry.histogram("engine.hour_tweets")
         self._follow_index = None
         if config.use_follow_graph:
             from .graph import FollowGraphIndex, build_follow_graph
@@ -181,6 +197,7 @@ class TwitterEngine:
 
     def run_hour(self) -> HourStats:
         """Simulate one hour of platform activity."""
+        wall_start = time.perf_counter()
         hour = self.clock.hour
         t0 = self.clock.now
         t_end = t0 + SECONDS_PER_HOUR
@@ -207,7 +224,34 @@ class TwitterEngine:
         self._expire_recent_posts(t_end)
         self.clock.advance_to(t_end)
         self.hour_stats.append(stats)
+        self._record_hour_metrics(stats, time.perf_counter() - wall_start)
         return stats
+
+    def _record_hour_metrics(self, stats: HourStats, elapsed: float) -> None:
+        """Publish one hour's :class:`HourStats` to the registry."""
+        self._m_hours.inc()
+        self._m_posts.inc(stats.organic_posts)
+        self._m_replies.inc(stats.organic_replies)
+        self._m_spam.inc(stats.spam_mentions)
+        self._m_suspensions.inc(stats.suspensions)
+        self._m_spam_rate.set(
+            stats.spam_mentions / stats.total_tweets
+            if stats.total_tweets
+            else 0.0
+        )
+        self._m_hour_seconds.observe(elapsed)
+        self._m_hour_tweets.observe(stats.total_tweets)
+        log.debug(
+            "hour %d: %d tweets (%d posts, %d replies, %d spam), "
+            "%d suspensions, %.3fs",
+            stats.hour,
+            stats.total_tweets,
+            stats.organic_posts,
+            stats.organic_replies,
+            stats.spam_mentions,
+            stats.suspensions,
+            elapsed,
+        )
 
     # ------------------------------------------------------------------
     # Hour phases

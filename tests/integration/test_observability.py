@@ -1,0 +1,167 @@
+"""End-to-end observability: phase spans, report reconciliation.
+
+Runs a tiny instrumented experiment and asserts the exported
+:class:`RunReport` tells the truth: every paper phase appears as an
+``experiment.*`` span, and the counts recorded in span attributes and
+registry counters reconcile *exactly* with the objects the phases
+returned (``NetworkRun.n_captures``, ``LabeledDataset`` counts).
+"""
+
+import pytest
+
+import repro.obs as obs
+from repro.core.experiment import PseudoHoneypotExperiment
+from repro.obs import RunReport
+from repro.twittersim import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def instrumented():
+    """One tiny experiment run with a clean global registry."""
+    obs.reset()
+    obs.set_enabled(True)
+    exp = PseudoHoneypotExperiment(
+        SimulationConfig.small(seed=31), candidate_pool=400
+    )
+    exp.warm_up(3)
+    run = exp.collect_ground_truth(hours=4, n_targets=6, per_value=4)
+    dataset = exp.label_ground_truth(run)
+    detector = exp.train_detector(run, dataset)
+    outcome = exp.classify(detector, run)
+    report = exp.export_report(scale="integration-test")
+    yield exp, run, dataset, outcome, report
+    obs.reset()
+
+
+EXPECTED_PHASE_SPANS = (
+    "experiment.warm_up",
+    "experiment.collect_ground_truth",
+    "experiment.run_plan",
+    "experiment.label_ground_truth",
+    "experiment.train_detector",
+    "experiment.classify",
+)
+
+EXPECTED_STAGE_SPANS = (
+    "network.deploy",
+    "label.suspended",
+    "label.clustering",
+    "label.minhash",
+    "label.rule_based",
+    "label.manual",
+    "ml.fit",
+)
+
+
+class TestPhaseSpans:
+    def test_every_phase_emits_its_span(self, instrumented):
+        *_, report = instrumented
+        for name in EXPECTED_PHASE_SPANS:
+            assert report.find(name), f"missing span {name}"
+
+    def test_stage_spans_nest_under_phases(self, instrumented):
+        *_, report = instrumented
+        for name in EXPECTED_STAGE_SPANS:
+            assert report.find(name), f"missing span {name}"
+        (collect,) = report.find("experiment.collect_ground_truth")
+        (plan,) = report.find("experiment.run_plan")
+        assert plan in list(collect.walk())
+        assert plan.child("network.deploy") is not None
+        (label_phase,) = report.find("experiment.label_ground_truth")
+        assert label_phase.child("label.suspended") is not None
+
+    def test_spans_carry_positive_durations(self, instrumented):
+        *_, report = instrumented
+        for name in EXPECTED_PHASE_SPANS:
+            (span,) = report.find(name)
+            assert span.duration_s >= 0
+
+
+class TestReportReconciliation:
+    def test_collect_span_matches_network_run_exactly(self, instrumented):
+        _, run, *_rest, report = instrumented
+        (span,) = report.find("experiment.collect_ground_truth")
+        assert span.attributes["captures"] == run.n_captures
+        assert span.attributes["node_hours"] == sum(
+            run.exposure.by_attribute.values()
+        )
+
+    def test_capture_counter_matches_network_run_exactly(self, instrumented):
+        _, run, *_rest, report = instrumented
+        counters = report.metrics["counters"]
+        assert counters["network.captures"] == run.n_captures
+        assert (
+            counters["network.captures.own_post"]
+            + counters["network.captures.mention"]
+            == run.n_captures
+        )
+
+    def test_label_span_matches_dataset(self, instrumented):
+        _, run, dataset, _outcome, report = instrumented
+        (span,) = report.find("experiment.label_ground_truth")
+        assert span.attributes["n_tweets"] == dataset.n_tweets
+        assert span.attributes["n_spams"] == dataset.n_spams
+        assert span.attributes["n_spammers"] == dataset.n_spammers
+        assert dataset.n_tweets == run.n_captures
+
+    def test_train_and_classify_spans_match_outcome(self, instrumented):
+        _, run, dataset, outcome, report = instrumented
+        (train,) = report.find("experiment.train_detector")
+        assert train.attributes["n_training_spams"] == dataset.n_spams
+        (classify,) = report.find("experiment.classify")
+        assert classify.attributes["captures"] == run.n_captures
+        assert classify.attributes["n_spams"] == outcome.n_spams
+        assert classify.attributes["n_spammers"] == outcome.n_spammers
+
+    def test_engine_hours_counter_matches_clock(self, instrumented):
+        exp, *_rest, report = instrumented
+        assert (
+            report.metrics["counters"]["engine.hours"]
+            == exp.engine.clock.hour
+        )
+
+    def test_report_round_trips_through_json(self, instrumented):
+        *_, report = instrumented
+        restored = RunReport.from_json(report.to_json())
+        assert restored.to_dict() == RunReport.from_dict(
+            report.to_dict()
+        ).to_dict()
+
+
+class TestDisabledMode:
+    def test_disabled_run_records_nothing_and_changes_nothing(self):
+        obs.reset()
+        obs.set_enabled(False)
+        try:
+            exp = PseudoHoneypotExperiment(
+                SimulationConfig.small(seed=31), candidate_pool=400
+            )
+            exp.warm_up(2)
+            run = exp.collect_ground_truth(hours=2, n_targets=4, per_value=3)
+            report = exp.export_report()
+            assert run.n_captures >= 0
+            assert report.spans == []
+            counters = report.metrics["counters"]
+            assert all(value == 0 for value in counters.values())
+        finally:
+            obs.set_enabled(True)
+            obs.reset()
+
+    def test_disabled_run_is_deterministically_identical(self):
+        def collect(enabled: bool):
+            obs.reset()
+            obs.set_enabled(enabled)
+            try:
+                exp = PseudoHoneypotExperiment(
+                    SimulationConfig.small(seed=77), candidate_pool=300
+                )
+                exp.warm_up(2)
+                run = exp.collect_ground_truth(
+                    hours=2, n_targets=4, per_value=3
+                )
+                return [c.tweet.tweet_id for c in run.captures]
+            finally:
+                obs.set_enabled(True)
+                obs.reset()
+
+        assert collect(True) == collect(False)
