@@ -1,10 +1,12 @@
 """CI smoke step: run a tiny instrumented experiment, export the report.
 
 Runs the paper's full phase sequence at toy scale with observability
-on, writes ``results/obs_smoke.json``, and exits non-zero if the
-exported report fails basic reconciliation (phase spans present,
-capture counts consistent with the returned runs).  Intended to sit
-alongside the tier-1 pytest command in CI:
+on, writes ``results/obs_smoke.json``, and **exits non-zero** if the
+exported report drifts: phase spans missing, capture/label counts
+inconsistent with the returned runs, or any span/metric name escaping
+the dotted taxonomy that ``repro-lint`` (RPL201/RPL202) enforces
+statically.  Intended to sit alongside the tier-1 pytest command in
+CI:
 
     PYTHONPATH=src python scripts/smoke_report.py
 """
@@ -19,6 +21,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import configure_logging  # noqa: E402
 from repro.core import PseudoHoneypotExperiment, SelectionPlan  # noqa: E402
+from repro.devtools.lint import TAXONOMY_RE  # noqa: E402
 from repro.obs import reset, set_enabled  # noqa: E402
 from repro.twittersim import SimulationConfig  # noqa: E402
 
@@ -81,6 +84,25 @@ def main() -> int:
         failures.append("labeled tweet count diverged from collection")
     if outcome.n_tweets != sweep.n_captures:
         failures.append("classified tweet count diverged from sweep")
+    labeled_counter = report.metrics["counters"].get("label.tweets_labeled")
+    if labeled_counter != dataset.n_tweets:
+        failures.append(
+            f"label.tweets_labeled counter {labeled_counter} != "
+            f"dataset.n_tweets {dataset.n_tweets}"
+        )
+
+    # Every exported name must fit the taxonomy repro-lint enforces
+    # statically — a renamed span/metric is drift, not a style nit.
+    for root in report.spans:
+        for span in root.walk():
+            if not TAXONOMY_RE.match(span.name):
+                failures.append(f"span {span.name!r} escapes taxonomy")
+    for kind in ("counters", "gauges", "histograms"):
+        for name in report.metrics.get(kind, ()):
+            if not TAXONOMY_RE.match(name):
+                failures.append(
+                    f"{kind[:-1]} {name!r} escapes taxonomy"
+                )
 
     if failures:
         print("\nSMOKE FAILURES:", file=sys.stderr)

@@ -16,6 +16,7 @@ from ..core.attributes import AttributeCategory
 from ..core.portability import ActivityPolicy
 from ..core.selection import HoneypotNode, SelectionPlan
 from ..twittersim.api.rest import RestClient
+from ..twittersim.errors import TwitterSimError
 
 
 class RandomAccountSelector:
@@ -65,7 +66,7 @@ class RandomAccountSelector:
                 continue
             try:
                 profile = self.rest.get_user(uid)
-            except Exception:  # suspended or vanished between calls
+            except TwitterSimError:  # suspended/vanished/rate-limited
                 continue
             nodes.append(
                 HoneypotNode(

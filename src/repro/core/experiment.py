@@ -253,17 +253,22 @@ class PseudoHoneypotExperiment:
         comparisons (advanced pseudo-honeypot vs. non pseudo-honeypot,
         Figure 6) free of run-to-run variance in the world itself.
         """
-        networks = {}
-        for offset, (name, plan) in enumerate(plans.items()):
-            network = PseudoHoneypotNetwork(
-                self.engine,
-                self.make_selector(seed_offset=41 + offset),
-                plan,
-                switch_every_hours=switch_every_hours,
-            )
-            network.deploy()
-            networks[name] = network
-        return self.run_networks(networks, hours)
+        with trace(
+            "experiment.run_plans_concurrently",
+            hours=hours,
+            n_plans=len(plans),
+        ):
+            networks = {}
+            for offset, (name, plan) in enumerate(plans.items()):
+                network = PseudoHoneypotNetwork(
+                    self.engine,
+                    self.make_selector(seed_offset=41 + offset),
+                    plan,
+                    switch_every_hours=switch_every_hours,
+                )
+                network.deploy()
+                networks[name] = network
+            return self.run_networks(networks, hours)
 
     def run_networks(
         self,

@@ -1,0 +1,11 @@
+"""Developer tooling for the reproduction itself.
+
+Nothing in this package runs during an experiment: it is the
+correctness tooling that keeps the *results* trustworthy.  Currently
+one subsystem:
+
+* :mod:`repro.devtools.lint` — ``repro-lint``, the zero-dependency
+  AST invariant checker (``python -m repro.devtools.lint``).
+"""
+
+from __future__ import annotations

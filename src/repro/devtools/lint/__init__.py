@@ -1,0 +1,53 @@
+"""repro-lint: AST-based invariant checking for the reproduction.
+
+The headline results are statements about a *deterministic* pipeline
+with a *fixed* 58-feature layout and a *stable* observability
+taxonomy; this package enforces those contracts mechanically, with
+stdlib ``ast`` only (zero dependencies, like ``repro.obs``).
+
+Rule families (full catalog: ``python -m repro.devtools.lint
+--list-rules``; invariants documented in DESIGN.md §7):
+
+* ``RPL0xx`` determinism — no stdlib ``random``, no wall-clock reads,
+  no unseeded/global NumPy RNG, seeds threaded not hard-coded;
+* ``RPL1xx`` schema — the 16/16/8/18 = 58 layout holds statically and
+  every feature-name literal resolves against it;
+* ``RPL2xx`` observability — span/metric labels fit the dotted
+  taxonomy, no instrument-kind conflicts, experiment mutators run
+  inside ``experiment.*`` spans, artifacts go through ``RunReport``;
+* ``RPL3xx`` hygiene — mutable defaults, silently-swallowed broad
+  excepts, ``print`` in library code.
+
+Programmatic use mirrors the CLI:
+
+.. code-block:: python
+
+    from repro.devtools.lint import run_lint
+    findings, n_files = run_lint(["src/repro"])
+"""
+
+from __future__ import annotations
+
+from .base import DETERMINISTIC_PACKAGES, FileContext, FileRule, ProjectRule, Rule
+from .baseline import Baseline, BaselineEntry, BaselineError
+from .engine import ALL_RULES, iter_python_files, run_lint, select_rules
+from .findings import Finding
+from .observability_rules import NAMESPACES, TAXONOMY_RE
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "DETERMINISTIC_PACKAGES",
+    "FileContext",
+    "FileRule",
+    "Finding",
+    "NAMESPACES",
+    "ProjectRule",
+    "Rule",
+    "TAXONOMY_RE",
+    "iter_python_files",
+    "run_lint",
+    "select_rules",
+]

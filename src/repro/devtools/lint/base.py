@@ -1,0 +1,189 @@
+"""Rule-plugin infrastructure: contexts, base classes, name resolution.
+
+Two rule shapes:
+
+* :class:`FileRule` — per-file AST visitors.  The engine walks each
+  file's tree **once** and dispatches every node to each applicable
+  rule's ``visit_<NodeType>`` hook; hooks yield :class:`Finding`\\ s.
+* :class:`ProjectRule` — whole-tree invariants (schema totals,
+  cross-file name conflicts).  ``check_project`` runs once over every
+  parsed file after the per-file pass.
+
+Both carry ``id`` / ``category`` / ``description`` / ``fix_hint`` so
+the CLI can render a rule catalog and attach repair advice to every
+finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .findings import Finding
+
+#: Packages whose results depend on bit-for-bit reproducibility.  Any
+#: directory component with one of these names puts a file in scope for
+#: the determinism rules (so test fixtures can opt in by layout).
+DETERMINISTIC_PACKAGES = frozenset(
+    {"twittersim", "core", "features", "labeling", "ml"}
+)
+
+
+@dataclass
+class FileContext:
+    """Everything the rules know about one parsed source file."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    #: ``import numpy as np`` -> ``{"np": "numpy"}``
+    imports: dict[str, str] = field(default_factory=dict)
+    #: ``from numpy.random import default_rng`` ->
+    #: ``{"default_rng": "numpy.random.default_rng"}``
+    from_imports: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return Path(self.relpath).parts
+
+    def in_deterministic_scope(self) -> bool:
+        """Whether the determinism rules apply to this file."""
+        return any(part in DETERMINISTIC_PACKAGES for part in self.parts)
+
+
+def build_import_maps(ctx: FileContext) -> None:
+    """Populate ``ctx.imports`` / ``ctx.from_imports`` from the tree."""
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                ctx.imports[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.level:  # relative import: stays package-local
+                continue
+            for alias in node.names:
+                ctx.from_imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+
+
+def resolve_dotted(ctx: FileContext, expr: ast.expr) -> str | None:
+    """The fully-qualified dotted name of a Name/Attribute chain.
+
+    ``np.random.default_rng`` resolves through the file's import
+    aliases to ``numpy.random.default_rng``; a bare ``default_rng``
+    imported with ``from numpy.random import default_rng`` resolves the
+    same way.  Returns None for anything that is not a plain dotted
+    chain (calls, subscripts, ...).
+    """
+    chain: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    chain.append(node.id)
+    chain.reverse()
+    head, rest = chain[0], chain[1:]
+    if head in ctx.from_imports:
+        return ".".join([ctx.from_imports[head], *rest])
+    if head in ctx.imports:
+        return ".".join([ctx.imports[head], *rest])
+    return ".".join(chain)
+
+
+def call_name(ctx: FileContext, node: ast.Call) -> str | None:
+    """:func:`resolve_dotted` applied to a call's function."""
+    return resolve_dotted(ctx, node.func)
+
+
+def literal_str_arg(node: ast.Call, index: int = 0) -> str | None:
+    """The ``index``-th positional argument iff it is a str literal."""
+    if len(node.args) > index:
+        arg = node.args[index]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+    return None
+
+
+def joined_str_prefix(node: ast.JoinedStr) -> str:
+    """The static leading text of an f-string (before the first hole)."""
+    prefix = []
+    for value in node.values:
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            prefix.append(value.value)
+        else:
+            break
+    return "".join(prefix)
+
+
+class Rule:
+    """Common surface of every lint rule (see subclasses)."""
+
+    id: str = "RPL000"
+    name: str = "unnamed"
+    category: str = "general"
+    description: str = ""
+    fix_hint: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether this rule should see ``ctx`` at all."""
+        return True
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        """A :class:`Finding` for ``node``, stamped with this rule."""
+        return Finding(
+            rule=self.id,
+            category=self.category,
+            path=ctx.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            fix_hint=self.fix_hint,
+        )
+
+
+class FileRule(Rule):
+    """A rule driven by per-node ``visit_<NodeType>`` hooks."""
+
+    def hooks(self) -> dict[str, object]:
+        """Map of AST node-type name -> bound visit method."""
+        return {
+            attr[len("visit_") :]: getattr(self, attr)
+            for attr in dir(self)
+            if attr.startswith("visit_")
+        }
+
+
+class ProjectRule(Rule):
+    """A rule over the whole linted file set at once."""
+
+    def check_project(
+        self, contexts: list[FileContext]
+    ) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+def walk_with_trace_cover(
+    node: ast.AST, covered: bool, is_cover: "callable"
+) -> Iterator[tuple[ast.AST, bool]]:
+    """Yield ``(descendant, covered)`` pairs below ``node``.
+
+    ``covered`` flips to True inside any ``with`` statement for which
+    ``is_cover`` accepts one of the context expressions; rules use this
+    to ask "is this call lexically wrapped in a matching span?".
+    """
+    if isinstance(node, ast.With):
+        covered = covered or any(
+            is_cover(item.context_expr) for item in node.items
+        )
+    for child in ast.iter_child_nodes(node):
+        yield child, covered
+        yield from walk_with_trace_cover(child, covered, is_cover)

@@ -1,0 +1,157 @@
+"""Checked-in suppression of *justified* findings.
+
+A baseline is a JSON file of entries that are allowed to keep failing
+the linter, each with a mandatory one-line justification:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "entries": [
+        {"rule": "RPL205",
+         "path": "benchmarks/conftest.py",
+         "line": 45,
+         "justification": "benchmark tables are human artifacts, ..."}
+      ]
+    }
+
+Policy (README "Static analysis"): the shipped baseline is empty or
+justified-only — it records deliberate exceptions, never a backlog.
+``line`` may be null to suppress a rule for a whole file (sparingly).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised for a malformed or unjustified baseline file."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One sanctioned finding."""
+
+    rule: str
+    path: str
+    line: int | None
+    justification: str
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            self.rule == finding.rule
+            and self.path == finding.path
+            and (self.line is None or self.line == finding.line)
+        )
+
+
+@dataclass
+class Baseline:
+    """The parsed entry set plus match bookkeeping."""
+
+    entries: list[BaselineEntry]
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries=[])
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Parse and validate a baseline file.
+
+        Raises:
+            BaselineError: on bad JSON, wrong version, or an entry
+                missing rule/path/justification.
+        """
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}")
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != BASELINE_VERSION
+        ):
+            raise BaselineError(
+                f"baseline {path} must be a dict with version "
+                f"{BASELINE_VERSION}"
+            )
+        entries = []
+        for i, raw in enumerate(data.get("entries", ())):
+            if not isinstance(raw, dict):
+                raise BaselineError(f"entry {i} is not an object")
+            justification = raw.get("justification")
+            if (
+                not isinstance(justification, str)
+                or not justification.strip()
+            ):
+                raise BaselineError(
+                    f"entry {i} ({raw.get('rule')} at "
+                    f"{raw.get('path')}) has no justification"
+                )
+            line = raw.get("line")
+            if line is not None and not isinstance(line, int):
+                raise BaselineError(f"entry {i} line must be int|null")
+            try:
+                entries.append(
+                    BaselineEntry(
+                        rule=str(raw["rule"]),
+                        path=str(raw["path"]),
+                        line=line,
+                        justification=justification.strip(),
+                    )
+                )
+            except KeyError as exc:
+                raise BaselineError(f"entry {i} missing field {exc}")
+        return cls(entries=entries)
+
+    def partition(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Split findings into (active, suppressed); report stale entries.
+
+        Returns:
+            ``(active, suppressed, unused_entries)`` where
+            ``unused_entries`` are baseline rows that matched nothing
+            (candidates for deletion).
+        """
+        active: list[Finding] = []
+        suppressed: list[Finding] = []
+        used: set[BaselineEntry] = set()
+        for finding in findings:
+            entry = next(
+                (e for e in self.entries if e.matches(finding)), None
+            )
+            if entry is None:
+                active.append(finding)
+            else:
+                suppressed.append(finding)
+                used.add(entry)
+        unused = [e for e in self.entries if e not in used]
+        return active, suppressed, unused
+
+    @staticmethod
+    def render(
+        findings: list[Finding],
+        justification: str = "TODO: justify or fix",
+    ) -> str:
+        """Baseline JSON covering ``findings`` (for --write-baseline)."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "justification": justification,
+                }
+                for f in sorted(findings, key=lambda f: f.sort_key)
+            ],
+        }
+        return json.dumps(payload, indent=2) + "\n"

@@ -1,0 +1,193 @@
+"""The ``repro-lint`` command line.
+
+.. code-block:: console
+
+    $ python -m repro.devtools.lint src/repro --format json
+    $ python -m repro.devtools.lint src scripts --baseline lint-baseline.json
+    $ python -m repro.devtools.lint --select RPL0 src/repro   # determinism only
+    $ python -m repro.devtools.lint --list-rules
+
+Exit codes: 0 clean, 1 active findings, 2 usage/baseline error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .baseline import Baseline, BaselineError
+from .engine import ALL_RULES, run_lint, select_rules
+from .findings import Finding
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description=(
+            "repro-lint: AST invariant checker for determinism, "
+            "schema, observability, and hygiene contracts."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="JSON baseline of justified findings to suppress",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write the active findings as a baseline skeleton and "
+        "exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule-id prefixes to run (RPL001,RPL2)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule-id prefixes to skip",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="directory findings paths are relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _split_ids(values: Sequence[str] | None) -> list[str] | None:
+    if not values:
+        return None
+    ids = [
+        part.strip()
+        for value in values
+        for part in value.split(",")
+        if part.strip()
+    ]
+    return ids or None
+
+
+def _render_text(
+    active: list[Finding],
+    suppressed: list[Finding],
+    unused_entries,
+    n_files: int,
+    out,
+) -> None:
+    for finding in active:
+        print(finding.render(), file=out)
+        if finding.fix_hint:
+            print(f"    hint: {finding.fix_hint}", file=out)
+    for entry in unused_entries:
+        print(
+            f"warning: stale baseline entry {entry.rule} at "
+            f"{entry.path}:{entry.line} matched nothing",
+            file=out,
+        )
+    summary = (
+        f"{len(active)} finding(s), {len(suppressed)} suppressed, "
+        f"{n_files} file(s) checked"
+    )
+    print(summary, file=out)
+
+
+def _render_json(
+    active: list[Finding],
+    suppressed: list[Finding],
+    unused_entries,
+    n_files: int,
+    out,
+) -> None:
+    payload = {
+        "findings": [f.to_dict() for f in active],
+        "suppressed": [f.to_dict() for f in suppressed],
+        "stale_baseline_entries": [
+            {"rule": e.rule, "path": e.path, "line": e.line}
+            for e in unused_entries
+        ],
+        "checked_files": n_files,
+    }
+    json.dump(payload, out, indent=2)
+    print(file=out)
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(
+                f"{rule.id}  [{rule.category}] {rule.name}: "
+                f"{rule.description}",
+                file=out,
+            )
+        return 0
+
+    rules = select_rules(
+        ALL_RULES, _split_ids(args.select), _split_ids(args.ignore)
+    )
+    if not rules:
+        print("error: no rules selected", file=sys.stderr)
+        return 2
+
+    findings, n_files = run_lint(args.paths, rules=rules, root=args.root)
+
+    baseline = Baseline.empty()
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    active, suppressed, unused = baseline.partition(findings)
+
+    if args.write_baseline:
+        from pathlib import Path
+
+        Path(args.write_baseline).write_text(
+            Baseline.render(active), encoding="utf-8"
+        )
+        print(
+            f"wrote {len(active)} entr(y/ies) to "
+            f"{args.write_baseline}; fill in the justifications",
+            file=out,
+        )
+        return 0
+
+    if args.format == "json":
+        _render_json(active, suppressed, unused, n_files, out)
+    else:
+        _render_text(active, suppressed, unused, n_files, out)
+    return 1 if active else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

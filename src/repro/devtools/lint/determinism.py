@@ -1,0 +1,224 @@
+"""Determinism rules (RPL001-RPL004).
+
+The headline numbers (Table III deltas, the 9.37x PGE advantage, the
+RF cross-validation scores) are only claims if a rerun reproduces them
+bit-for-bit.  These rules forbid the usual entropy leaks inside the
+simulation/pipeline packages (:data:`~repro.devtools.lint.base.
+DETERMINISTIC_PACKAGES`): the stdlib ``random`` module, wall-clock
+reads, NumPy global-state RNG, and hard-coded seeds that bypass the
+config-threaded ``seed`` plumbing.  ``time.perf_counter()`` stays
+legal: it only ever feeds *measurements* (histograms, span
+durations), never simulated behavior.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from .base import FileContext, FileRule, call_name
+from .findings import Finding
+
+#: Fully-qualified callables that read the wall clock.
+WALLCLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.monotonic",  # still host state, not simulation state
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: ``numpy.random.<fn>`` entry points that mutate/consume the *global*
+#: NumPy RNG state instead of an explicit Generator.
+NUMPY_GLOBAL_STATE = frozenset(
+    {
+        "seed",
+        "random",
+        "random_sample",
+        "rand",
+        "randn",
+        "randint",
+        "choice",
+        "shuffle",
+        "permutation",
+        "normal",
+        "uniform",
+        "poisson",
+        "exponential",
+    }
+)
+
+
+class NoStdlibRandomRule(FileRule):
+    """RPL001: the stdlib ``random`` module is banned in pipeline code."""
+
+    id = "RPL001"
+    name = "no-stdlib-random"
+    category = "determinism"
+    description = (
+        "Forbid importing the stdlib `random` module in the simulation "
+        "and pipeline packages; its global Mersenne state is invisible "
+        "to the seed plumbing."
+    )
+    fix_hint = (
+        "Use numpy.random.default_rng(seed) with a seed threaded from "
+        "SimulationConfig or the caller."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_deterministic_scope()
+
+    def visit_Import(
+        self, ctx: FileContext, node: ast.Import
+    ) -> Iterable[Finding]:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                yield self.finding(
+                    ctx, node, f"import of stdlib `{alias.name}`"
+                )
+
+    def visit_ImportFrom(
+        self, ctx: FileContext, node: ast.ImportFrom
+    ) -> Iterable[Finding]:
+        if node.level == 0 and node.module == "random":
+            yield self.finding(ctx, node, "import from stdlib `random`")
+
+
+class NoWallClockRule(FileRule):
+    """RPL002: no wall-clock reads where behavior must be simulated."""
+
+    id = "RPL002"
+    name = "no-wallclock"
+    category = "determinism"
+    description = (
+        "Forbid time.time()/datetime.now()-style wall-clock reads in "
+        "the simulation and pipeline packages; simulated behavior must "
+        "depend only on the engine clock.  time.perf_counter() is "
+        "allowed (duration measurement, not behavior)."
+    )
+    fix_hint = (
+        "Take the current simulation time from the engine clock "
+        "(engine.clock.now); use time.perf_counter() only to measure "
+        "durations for metrics."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_deterministic_scope()
+
+    def visit_Call(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterable[Finding]:
+        resolved = call_name(ctx, node)
+        if resolved in WALLCLOCK_CALLS:
+            yield self.finding(
+                ctx, node, f"wall-clock call `{resolved}()`"
+            )
+
+
+def _mentions_seed_or_rng(nodes: Iterator[ast.expr]) -> bool:
+    """Whether any identifier in the expressions names a seed/rng."""
+    for expr in nodes:
+        for sub in ast.walk(expr):
+            name = None
+            if isinstance(sub, ast.Name):
+                name = sub.id
+            elif isinstance(sub, ast.Attribute):
+                name = sub.attr
+            elif isinstance(sub, ast.keyword):
+                name = sub.arg
+            if name and ("seed" in name.lower() or "rng" in name.lower()):
+                return True
+    return False
+
+
+class SeededRngRule(FileRule):
+    """RPL003: no unseeded Generators, no NumPy global-state RNG."""
+
+    id = "RPL003"
+    name = "no-unseeded-rng"
+    category = "determinism"
+    description = (
+        "Forbid numpy.random.default_rng() without a seed and any "
+        "numpy.random global-state call (np.random.rand, np.random."
+        "seed, ...) in the simulation and pipeline packages."
+    )
+    fix_hint = (
+        "Construct np.random.default_rng(seed) with an explicit seed "
+        "and pass the Generator down; never touch numpy's module-level "
+        "RNG state."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_deterministic_scope()
+
+    def visit_Call(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterable[Finding]:
+        resolved = call_name(ctx, node)
+        if resolved is None or not resolved.startswith("numpy.random."):
+            return
+        tail = resolved[len("numpy.random.") :]
+        if tail == "default_rng":
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "numpy.random.default_rng() without a seed",
+                )
+        elif tail in NUMPY_GLOBAL_STATE:
+            yield self.finding(
+                ctx,
+                node,
+                f"numpy global-state RNG call `{resolved}()`",
+            )
+
+
+class ThreadedSeedRule(FileRule):
+    """RPL004: Generator seeds must be threaded, not hard-coded."""
+
+    id = "RPL004"
+    name = "threaded-seed"
+    category = "determinism"
+    description = (
+        "A default_rng(...) seed expression must reference a seed/rng "
+        "parameter, attribute, or keyword (config.seed, self.seed + b, "
+        "seed=...); a bare literal hides a fixed stream the caller "
+        "cannot vary or reproduce from configuration."
+    )
+    fix_hint = (
+        "Accept a `seed` (or `rng`) parameter and derive the Generator "
+        "from it; magic offsets like `seed + 17` are fine, `42` alone "
+        "is not."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_deterministic_scope()
+
+    def visit_Call(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterable[Finding]:
+        if call_name(ctx, node) != "numpy.random.default_rng":
+            return
+        if not node.args and not node.keywords:
+            return  # RPL003's case
+        keyword_names_seed = any(
+            kw.arg and ("seed" in kw.arg.lower() or "rng" in kw.arg.lower())
+            for kw in node.keywords
+        )
+        exprs = iter(
+            [*node.args, *[kw.value for kw in node.keywords]]
+        )
+        if not keyword_names_seed and not _mentions_seed_or_rng(exprs):
+            yield self.finding(
+                ctx,
+                node,
+                "default_rng(...) seed is not threaded from a "
+                "seed/rng parameter or attribute",
+            )

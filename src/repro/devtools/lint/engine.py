@@ -1,0 +1,183 @@
+"""The lint driver: collect files, parse once, dispatch to rules.
+
+Single-pass design: each file is read and parsed exactly once into a
+:class:`FileContext`; every applicable :class:`FileRule` hook sees
+every node of one ``ast.walk``; :class:`ProjectRule`\\ s then run over
+the full context list.  Keeping the whole of ``src/repro`` under the
+acceptance budget (<5s) is therefore bounded by parse time, which is
+milliseconds per file.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .base import (
+    FileContext,
+    FileRule,
+    ProjectRule,
+    Rule,
+    build_import_maps,
+)
+from .determinism import (
+    NoStdlibRandomRule,
+    NoWallClockRule,
+    SeededRngRule,
+    ThreadedSeedRule,
+)
+from .findings import Finding
+from .hygiene import (
+    MutableDefaultRule,
+    NoPrintRule,
+    SwallowedExceptionRule,
+)
+from .observability_rules import (
+    ArtifactWriteRule,
+    ExperimentSpanRule,
+    InstrumentKindConflictRule,
+    MetricNameRule,
+    SpanLabelRule,
+)
+from .schema_rules import KnownFeatureNameRule, SchemaShapeRule
+
+#: The full catalog, in rule-id order.
+ALL_RULES: tuple[Rule, ...] = (
+    NoStdlibRandomRule(),
+    NoWallClockRule(),
+    SeededRngRule(),
+    ThreadedSeedRule(),
+    SchemaShapeRule(),
+    KnownFeatureNameRule(),
+    SpanLabelRule(),
+    MetricNameRule(),
+    InstrumentKindConflictRule(),
+    ExperimentSpanRule(),
+    ArtifactWriteRule(),
+    MutableDefaultRule(),
+    SwallowedExceptionRule(),
+    NoPrintRule(),
+)
+
+PARSE_ERROR_RULE = "RPL000"
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Every ``*.py`` file under ``paths``, sorted, deduplicated."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            candidates: Iterable[Path] = [path]
+        else:
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not (set(p.parts) & _SKIP_DIRS)
+            )
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def load_context(path: Path, root: Path) -> FileContext | Finding:
+    """Parse one file; a syntax error becomes an RPL000 finding."""
+    source = path.read_text(encoding="utf-8")
+    relpath = _relpath(path, root)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Finding(
+            rule=PARSE_ERROR_RULE,
+            category="parse",
+            path=relpath,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"syntax error: {exc.msg}",
+            fix_hint="The file must parse before any invariant can "
+            "be checked.",
+        )
+    ctx = FileContext(
+        path=path, relpath=relpath, source=source, tree=tree
+    )
+    build_import_maps(ctx)
+    return ctx
+
+
+def select_rules(
+    rules: Sequence[Rule],
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[Rule]:
+    """Filter the catalog by rule-id prefixes (``RPL0`` = family)."""
+    chosen = list(rules)
+    if select:
+        chosen = [
+            r for r in chosen if any(r.id.startswith(s) for s in select)
+        ]
+    if ignore:
+        chosen = [
+            r
+            for r in chosen
+            if not any(r.id.startswith(s) for s in ignore)
+        ]
+    return chosen
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    rules: Sequence[Rule] | None = None,
+    root: str | Path | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint ``paths`` with ``rules`` (default: the full catalog).
+
+    Returns:
+        ``(findings, n_files)`` — findings sorted by location, and
+        the number of files examined.
+    """
+    rules = list(ALL_RULES) if rules is None else list(rules)
+    root = Path(root) if root is not None else Path.cwd()
+    file_rules = [r for r in rules if isinstance(r, FileRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+
+    findings: list[Finding] = []
+    contexts: list[FileContext] = []
+    n_files = 0
+    for path in iter_python_files(paths):
+        n_files += 1
+        loaded = load_context(path, root)
+        if isinstance(loaded, Finding):
+            findings.append(loaded)
+            continue
+        contexts.append(loaded)
+
+    for ctx in contexts:
+        hooked: dict[str, list] = {}
+        for rule in file_rules:
+            if not rule.applies_to(ctx):
+                continue
+            for node_type, hook in rule.hooks().items():
+                hooked.setdefault(node_type, []).append(hook)
+        if not hooked:
+            continue
+        for node in ast.walk(ctx.tree):
+            for hook in hooked.get(type(node).__name__, ()):
+                findings.extend(hook(ctx, node))
+
+    for rule in project_rules:
+        findings.extend(rule.check_project(contexts))
+
+    findings.sort(key=lambda f: f.sort_key)
+    return findings, n_files

@@ -1,0 +1,68 @@
+"""The unit of lint output: one rule violation at one location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation, addressable by ``rule`` + ``path`` + ``line``.
+
+    Attributes:
+        rule: rule identifier (``RPL203``).
+        category: rule family (``determinism``, ``schema``,
+            ``observability``, ``hygiene``, ``parse``).
+        path: POSIX-style path relative to the lint root.
+        line: 1-based source line.
+        col: 0-based source column.
+        message: what is wrong, specifically.
+        fix_hint: the rule's standing advice on how to repair it.
+    """
+
+    rule: str
+    category: str
+    path: str
+    line: int
+    col: int
+    message: str
+    fix_hint: str = field(default="", compare=False)
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (what ``--format json`` emits)."""
+        return {
+            "rule": self.rule,
+            "category": self.category,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            KeyError: on a payload missing required fields.
+        """
+        return cls(
+            rule=data["rule"],
+            category=data["category"],
+            path=data["path"],
+            line=int(data["line"]),
+            col=int(data.get("col", 0)),
+            message=data["message"],
+            fix_hint=str(data.get("fix_hint", "")),
+        )
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line:col: RULE message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        )

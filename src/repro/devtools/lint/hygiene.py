@@ -1,0 +1,184 @@
+"""General-hygiene rules (RPL301-RPL303).
+
+Small, classic failure modes that have outsized cost in a long-lived
+reproduction: mutable defaults that alias state across calls, broad
+``except`` clauses that eat platform errors without a trace in the
+``repro`` logger, and stray ``print`` in library code that corrupts
+the CLI/benchmark output streams.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .base import FileContext, FileRule
+from .findings import Finding
+
+#: Constructors whose call as a default argument is equally mutable.
+MUTABLE_FACTORIES = frozenset({"list", "dict", "set", "bytearray"})
+
+#: Exception names considered "broad" for RPL302.
+BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+#: File names allowed to print from inside ``src/repro`` (user-facing
+#: entry points).
+PRINT_ALLOWED_FILES = frozenset({"cli.py", "__main__.py"})
+
+
+class MutableDefaultRule(FileRule):
+    """RPL301: no mutable default arguments."""
+
+    id = "RPL301"
+    name = "mutable-default-argument"
+    category = "hygiene"
+    description = (
+        "Function defaults of list/dict/set displays (or list()/dict()"
+        "/set() calls) are shared across calls and leak state between "
+        "runs."
+    )
+    fix_hint = (
+        "Default to None and construct the container in the body, or "
+        "use dataclasses.field(default_factory=...)."
+    )
+
+    def visit_FunctionDef(
+        self, ctx: FileContext, node: ast.FunctionDef
+    ) -> Iterable[Finding]:
+        yield from self._check(ctx, node)
+
+    def visit_AsyncFunctionDef(
+        self, ctx: FileContext, node: ast.AsyncFunctionDef
+    ) -> Iterable[Finding]:
+        yield from self._check(ctx, node)
+
+    def _check(
+        self,
+        ctx: FileContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterable[Finding]:
+        defaults = [
+            *node.args.defaults,
+            *[d for d in node.args.kw_defaults if d is not None],
+        ]
+        for default in defaults:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                kind = type(default).__name__.lower()
+                yield self.finding(
+                    ctx,
+                    default,
+                    f"mutable default ({kind} display) in "
+                    f"{node.name}()",
+                )
+            elif (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in MUTABLE_FACTORIES
+            ):
+                yield self.finding(
+                    ctx,
+                    default,
+                    f"mutable default ({default.func.id}() call) in "
+                    f"{node.name}()",
+                )
+
+
+def _handler_logs_or_reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler raises, returns a value, or logs."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            receiver = node.func.value
+            receiver_name = (
+                receiver.id
+                if isinstance(receiver, ast.Name)
+                else receiver.attr
+                if isinstance(receiver, ast.Attribute)
+                else ""
+            )
+            if "log" in receiver_name.lower() or node.func.attr in (
+                "warning",
+                "error",
+                "exception",
+                "debug",
+                "info",
+            ):
+                return True
+    # Using the bound exception (``except ... as exc``) counts as
+    # handling, not swallowing.
+    if handler.name:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Name) and node.id == handler.name:
+                return True
+    return False
+
+
+class SwallowedExceptionRule(FileRule):
+    """RPL302: broad excepts must not swallow silently."""
+
+    id = "RPL302"
+    name = "swallowed-broad-except"
+    category = "hygiene"
+    description = (
+        "A bare `except:` or `except Exception:` whose handler "
+        "neither re-raises, logs via the repro logger, nor uses the "
+        "bound exception hides real failures (and real platform "
+        "signals like suspensions) from every run."
+    )
+    fix_hint = (
+        "Catch the specific TwitterSimError subclasses you expect, or "
+        "log the exception through logging.getLogger(\"repro...\") "
+        "before suppressing it."
+    )
+
+    def visit_Try(
+        self, ctx: FileContext, node: ast.Try
+    ) -> Iterable[Finding]:
+        for handler in node.handlers:
+            broad = handler.type is None or (
+                isinstance(handler.type, ast.Name)
+                and handler.type.id in BROAD_EXCEPTIONS
+            )
+            if broad and not _handler_logs_or_reraises(handler):
+                what = (
+                    "bare except"
+                    if handler.type is None
+                    else f"except {handler.type.id}"
+                )
+                yield self.finding(
+                    ctx,
+                    handler,
+                    f"{what} swallows without logging or re-raising",
+                )
+
+
+class NoPrintRule(FileRule):
+    """RPL303: no ``print`` in library code."""
+
+    id = "RPL303"
+    name = "no-print-in-library"
+    category = "hygiene"
+    description = (
+        "print() inside src/repro (outside cli.py/__main__.py entry "
+        "points) bypasses the `repro` logger and pollutes benchmark/"
+        "report output streams."
+    )
+    fix_hint = (
+        "Use logging.getLogger(\"repro.<module>\") — or move the "
+        "user-facing output into a cli.py/__main__.py entry point."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        parts = ctx.parts
+        if "repro" not in parts:
+            return False
+        return parts[-1] not in PRINT_ALLOWED_FILES
+
+    def visit_Call(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterable[Finding]:
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            yield self.finding(ctx, node, "print() in library code")

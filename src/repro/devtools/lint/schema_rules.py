@@ -1,0 +1,284 @@
+"""Schema-contract rules (RPL101-RPL103).
+
+Section IV-A fixes the feature vector: 58 features in four groups
+(16 sender-profile, 16 receiver-profile, 8 content, 18 behavioral),
+laid out by ``features/schema.py`` and consumed positionally by the
+extractor, the detector, and the ablation benchmarks.  These rules
+statically re-derive the layout from the schema source (no import, so
+a broken schema is still lintable) and cross-check every feature-name
+string literal in the rest of the tree against it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from .base import FileContext, ProjectRule, literal_str_arg
+from .findings import Finding
+
+#: Paper split: (tuple variable, expected length, group prefix role).
+EXPECTED_GROUP_SIZES = {
+    "PROFILE_FEATURE_NAMES": 16,
+    "CONTENT_FEATURE_NAMES": 8,
+    "BEHAVIOR_FEATURE_NAMES": 18,
+}
+EXPECTED_TOTAL = 58
+EXPECTED_GROUPS = {
+    "sender_profile": (0, 16),
+    "receiver_profile": (16, 32),
+    "content": (32, 40),
+    "behavior": (40, 58),
+}
+
+
+@dataclass
+class ParsedSchema:
+    """The feature layout statically recovered from a schema file."""
+
+    ctx: FileContext | None
+    name_tuples: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    groups: dict[str, tuple[int, int]] = field(default_factory=dict)
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def full_names(self) -> tuple[str, ...]:
+        """The 58-slot layout derived exactly as schema.py derives it."""
+        profile = self.name_tuples.get("PROFILE_FEATURE_NAMES", ())
+        content = self.name_tuples.get("CONTENT_FEATURE_NAMES", ())
+        behavior = self.name_tuples.get("BEHAVIOR_FEATURE_NAMES", ())
+        return (
+            tuple(f"sender_{n}" for n in profile)
+            + tuple(f"receiver_{n}" for n in profile)
+            + content
+            + behavior
+        )
+
+
+def is_schema_file(ctx: FileContext) -> bool:
+    """Whether ``ctx`` is a ``features/schema.py`` layout module."""
+    parts = ctx.parts
+    return len(parts) >= 2 and parts[-2:] == ("features", "schema.py")
+
+
+def parse_schema(ctx: FileContext) -> ParsedSchema:
+    """Recover the name tuples and group ranges from schema source."""
+    parsed = ParsedSchema(ctx=ctx)
+    for node in ctx.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id in EXPECTED_GROUP_SIZES:
+                try:
+                    names = ast.literal_eval(value)
+                except ValueError:
+                    parsed.problems.append(
+                        f"{target.id} is not a literal tuple of names"
+                    )
+                    continue
+                parsed.name_tuples[target.id] = tuple(names)
+            elif target.id == "FEATURE_GROUPS":
+                try:
+                    groups = ast.literal_eval(value)
+                except ValueError:
+                    parsed.problems.append(
+                        "FEATURE_GROUPS is not a literal dict"
+                    )
+                    continue
+                parsed.groups = {
+                    str(k): tuple(v) for k, v in groups.items()
+                }
+    for name in EXPECTED_GROUP_SIZES:
+        if name not in parsed.name_tuples:
+            parsed.problems.append(f"missing tuple {name}")
+    return parsed
+
+
+def canonical_schema_path() -> Path:
+    """The packaged ``repro/features/schema.py`` (fallback source)."""
+    return Path(__file__).resolve().parents[2] / "features" / "schema.py"
+
+
+def _schema_for(
+    ctx: FileContext, schemas: list[ParsedSchema]
+) -> ParsedSchema | None:
+    """The parsed schema governing ``ctx``: deepest shared ancestor."""
+    if not schemas:
+        return None
+    ctx_parts = ctx.parts
+
+    def shared(schema: ParsedSchema) -> int:
+        schema_parts = schema.ctx.parts[:-2]  # strip features/schema.py
+        n = 0
+        for a, b in zip(ctx_parts, schema_parts):
+            if a != b:
+                break
+            n += 1
+        return n
+
+    return max(schemas, key=shared)
+
+
+class SchemaShapeRule(ProjectRule):
+    """RPL101: the 16/16/8/18 = 58 layout must hold statically."""
+
+    id = "RPL101"
+    name = "schema-shape"
+    category = "schema"
+    description = (
+        "features/schema.py must define the Section IV-A layout: "
+        "16 profile, 8 content, and 18 behavior names, prefixing to "
+        "58 unique features, with FEATURE_GROUPS ranges matching the "
+        "tuple lengths."
+    )
+    fix_hint = (
+        "Restore the missing/renamed names in the three tuples and "
+        "keep FEATURE_GROUPS ranges derived from their lengths; the "
+        "58-feature total is a paper constant, not a tunable."
+    )
+
+    def check_project(
+        self, contexts: list[FileContext]
+    ) -> Iterable[Finding]:
+        for ctx in contexts:
+            if not is_schema_file(ctx):
+                continue
+            parsed = parse_schema(ctx)
+            anchor = ctx.tree.body[0] if ctx.tree.body else ctx.tree
+            for problem in parsed.problems:
+                yield self.finding(ctx, anchor, problem)
+            for tuple_name, expected in EXPECTED_GROUP_SIZES.items():
+                names = parsed.name_tuples.get(tuple_name)
+                if names is not None and len(names) != expected:
+                    yield self.finding(
+                        ctx,
+                        anchor,
+                        f"{tuple_name} has {len(names)} names, "
+                        f"paper split requires {expected}",
+                    )
+            full = parsed.full_names
+            if parsed.name_tuples and len(full) != EXPECTED_TOTAL:
+                yield self.finding(
+                    ctx,
+                    anchor,
+                    f"schema derives {len(full)} features, "
+                    f"Section IV-A fixes {EXPECTED_TOTAL}",
+                )
+            duplicates = {n for n in full if full.count(n) > 1}
+            if duplicates:
+                yield self.finding(
+                    ctx,
+                    anchor,
+                    "duplicate feature names: "
+                    + ", ".join(sorted(duplicates)),
+                )
+            if parsed.groups and parsed.groups != EXPECTED_GROUPS:
+                yield self.finding(
+                    ctx,
+                    anchor,
+                    f"FEATURE_GROUPS {parsed.groups} != expected "
+                    f"{EXPECTED_GROUPS}",
+                )
+
+
+class KnownFeatureNameRule(ProjectRule):
+    """RPL102: feature-name string literals must exist in the schema."""
+
+    id = "RPL102"
+    name = "known-feature-name"
+    category = "schema"
+    description = (
+        "Every feature_index(\"...\") argument and FEATURE_GROUPS["
+        "\"...\"] key must name a feature/group the schema actually "
+        "defines; a stale literal reads the wrong column silently."
+    )
+    fix_hint = (
+        "Use a name from features/schema.py (FEATURE_NAMES / "
+        "FEATURE_GROUPS); if the feature was renamed, update every "
+        "referencing literal in the same change."
+    )
+
+    def check_project(
+        self, contexts: list[FileContext]
+    ) -> Iterable[Finding]:
+        schemas = [parse_schema(c) for c in contexts if is_schema_file(c)]
+        fallback: ParsedSchema | None = None
+        if not schemas:
+            fallback = self._load_canonical()
+            if fallback is None:
+                return
+        for ctx in contexts:
+            if is_schema_file(ctx):
+                continue
+            schema = _schema_for(ctx, schemas) or fallback
+            if schema is None or not schema.name_tuples:
+                continue
+            names = set(schema.full_names)
+            groups = set(schema.groups or EXPECTED_GROUPS)
+            yield from self._check_file(ctx, names, groups)
+
+    def _load_canonical(self) -> ParsedSchema | None:
+        path = canonical_schema_path()
+        if not path.is_file():
+            return None
+        source = path.read_text(encoding="utf-8")
+        ctx = FileContext(
+            path=path,
+            relpath=str(path),
+            source=source,
+            tree=ast.parse(source),
+        )
+        return parse_schema(ctx)
+
+    def _check_file(
+        self, ctx: FileContext, names: set[str], groups: set[str]
+    ) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                callee = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr
+                    if isinstance(func, ast.Attribute)
+                    else None
+                )
+                if callee == "feature_index":
+                    literal = literal_str_arg(node)
+                    if literal is not None and literal not in names:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"feature {literal!r} is not in the schema",
+                        )
+            elif isinstance(node, ast.Subscript):
+                value = node.value
+                sub_name = (
+                    value.id
+                    if isinstance(value, ast.Name)
+                    else value.attr
+                    if isinstance(value, ast.Attribute)
+                    else None
+                )
+                if sub_name != "FEATURE_GROUPS":
+                    continue
+                key = node.slice
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and key.value not in groups
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"feature group {key.value!r} is not in "
+                        "FEATURE_GROUPS",
+                    )

@@ -1,0 +1,29 @@
+"""Shared helpers for the repro-lint test suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def fixtures() -> Path:
+    return FIXTURES
+
+
+@pytest.fixture
+def repo_root() -> Path:
+    return REPO_ROOT
+
+
+def rule_lines(findings, rule: str, path_suffix: str) -> list[int]:
+    """Line numbers of ``rule`` findings in files ending with suffix."""
+    return [
+        f.line
+        for f in findings
+        if f.rule == rule and f.path.endswith(path_suffix)
+    ]

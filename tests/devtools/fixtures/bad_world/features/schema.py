@@ -1,0 +1,59 @@
+"""Known-bad schema fixture: 17 behavior names derive a 57-feature
+vector (RPL101), and one FEATURE_GROUPS range is stale (RPL101)."""
+
+PROFILE_FEATURE_NAMES = (
+    "p01",
+    "p02",
+    "p03",
+    "p04",
+    "p05",
+    "p06",
+    "p07",
+    "p08",
+    "p09",
+    "p10",
+    "p11",
+    "p12",
+    "p13",
+    "p14",
+    "p15",
+    "p16",
+)
+
+CONTENT_FEATURE_NAMES = (
+    "c01",
+    "c02",
+    "c03",
+    "c04",
+    "c05",
+    "c06",
+    "c07",
+    "c08",
+)
+
+BEHAVIOR_FEATURE_NAMES = (
+    "b01",
+    "b02",
+    "b03",
+    "b04",
+    "b05",
+    "b06",
+    "b07",
+    "b08",
+    "b09",
+    "b10",
+    "b11",
+    "b12",
+    "b13",
+    "b14",
+    "b15",
+    "b16",
+    "b17",
+)
+
+FEATURE_GROUPS = {
+    "sender_profile": (0, 16),
+    "receiver_profile": (16, 32),
+    "content": (32, 40),
+    "behavior": (40, 57),
+}

@@ -1,0 +1,21 @@
+"""Known-bad determinism fixture (linted, never imported).
+
+The directory component ``core`` puts this file in the determinism
+scope; every seeded violation below is asserted by exact rule id and
+line number in ``test_determinism_rules.py`` — renumber carefully.
+"""
+
+import random  # line 8: RPL001
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def jitter():
+    wall = time.time()  # line 16: RPL002
+    today = datetime.now()  # line 17: RPL002
+    rng = np.random.default_rng()  # line 18: RPL003
+    np.random.seed(7)  # line 19: RPL003
+    fixed = np.random.default_rng(42)  # line 20: RPL004
+    return wall, today, rng, fixed, random.random()

@@ -1,0 +1,20 @@
+"""Known-good determinism fixture: every pattern here must pass."""
+
+import time
+
+import numpy as np
+
+
+def sample(seed: int, values):
+    rng = np.random.default_rng(seed + 17)
+    start = time.perf_counter()  # durations are measurement, not state
+    drawn = rng.choice(np.asarray(values))
+    return drawn, time.perf_counter() - start
+
+
+class Roller:
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng((seed << 8) ^ 5)
+
+    def roll(self):
+        return self._rng.integers(0, 6)

@@ -1,0 +1,12 @@
+"""Cross-reference fixture: feature-name literals checked against the
+sibling ``features/schema.py`` (longest-shared-prefix resolution)."""
+
+from repro.features.schema import FEATURE_GROUPS, feature_index
+
+
+def lookup():
+    known = feature_index("sender_p01")  # ok: in sibling schema
+    stale = feature_index("not_a_feature")  # line 9: RPL102
+    lo, hi = FEATURE_GROUPS["behavior"]  # ok
+    bogus = FEATURE_GROUPS["typo_group"]  # line 11: RPL102
+    return known, stale, lo, hi, bogus

@@ -1,0 +1,59 @@
+"""Known-good schema fixture: the full 16/16/8/18 = 58 layout."""
+
+PROFILE_FEATURE_NAMES = (
+    "p01",
+    "p02",
+    "p03",
+    "p04",
+    "p05",
+    "p06",
+    "p07",
+    "p08",
+    "p09",
+    "p10",
+    "p11",
+    "p12",
+    "p13",
+    "p14",
+    "p15",
+    "p16",
+)
+
+CONTENT_FEATURE_NAMES = (
+    "c01",
+    "c02",
+    "c03",
+    "c04",
+    "c05",
+    "c06",
+    "c07",
+    "c08",
+)
+
+BEHAVIOR_FEATURE_NAMES = (
+    "b01",
+    "b02",
+    "b03",
+    "b04",
+    "b05",
+    "b06",
+    "b07",
+    "b08",
+    "b09",
+    "b10",
+    "b11",
+    "b12",
+    "b13",
+    "b14",
+    "b15",
+    "b16",
+    "b17",
+    "b18",
+)
+
+FEATURE_GROUPS = {
+    "sender_profile": (0, 16),
+    "receiver_profile": (16, 32),
+    "content": (32, 40),
+    "behavior": (40, 58),
+}

@@ -1,0 +1,34 @@
+"""Known-bad observability fixture: malformed span labels, metric
+names off the taxonomy, one name registered as two kinds, and an
+Experiment method advancing the platform outside a span."""
+
+from repro.obs import trace
+
+
+def record(registry, stage):
+    with trace("labeling.minhash"):  # line 9: RPL201 bad namespace
+        pass
+    with trace("label.MinHash"):  # line 11: RPL201 bad charset
+        pass
+    with trace(f"{stage}.duration"):  # line 13: RPL201 dynamic prefix
+        pass
+    with trace(f"label.{stage}.pass"):  # ok: literal namespace prefix
+        pass
+    registry.counter("spam_total")  # line 17: RPL202 no namespace
+    registry.counter("engine.flips")  # ok
+    registry.gauge("engine.flips")  # line 19: RPL203 kind conflict
+    registry.histogram("ml.fit_seconds")  # ok
+
+
+class ToyExperiment:
+    def advance(self, engine):
+        engine.run_hours(3)  # RPL204: method at line 24 lacks a span
+        return engine
+
+    def covered(self, engine):
+        with trace("experiment.covered") as span:
+            engine.run_hours(1)
+            span.set(hours=1)
+
+    def _internal(self, engine):
+        engine.run_hour()  # private: RPL204 does not apply

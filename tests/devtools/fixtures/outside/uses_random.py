@@ -1,0 +1,9 @@
+"""Out-of-scope fixture: stdlib random is fine outside the pipeline
+packages (no ``twittersim/core/features/labeling/ml`` path part)."""
+
+import random
+
+
+def shuffle(items):
+    random.shuffle(items)
+    return items

@@ -1,0 +1,27 @@
+"""Known-good hygiene fixture: the sanctioned counterparts."""
+
+import logging
+
+log = logging.getLogger("repro.fixture")
+
+
+def accumulate(value, items=None):
+    if items is None:
+        items = []
+    items.append(value)
+    return items
+
+
+def tolerant_parse(raw):
+    try:
+        return int(raw)
+    except ValueError:  # narrow: allowed without logging
+        return None
+    except Exception:
+        log.warning("unparseable payload %r", raw)
+        return None
+
+
+def read_config(path):
+    with open(path) as fh:  # read-mode open is not an artifact write
+        return fh.read()

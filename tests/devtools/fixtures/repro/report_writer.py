@@ -1,0 +1,17 @@
+"""Known-bad hygiene/artifact fixture.
+
+The ``repro`` path component makes RPL303 treat this as library code;
+the writes must be flagged as RunReport bypasses (RPL205)."""
+
+import json
+
+
+def dump_report(path, payload, items=[]):  # line 9: RPL301
+    print("writing", path)  # line 10: RPL303
+    try:
+        with open(path, "w") as fh:  # line 12: RPL205
+            json.dump(payload, fh)  # line 13: RPL205
+    except Exception:  # line 14: RPL302
+        pass
+    path.write_text("done")  # line 16: RPL205
+    return items

@@ -1,0 +1,209 @@
+"""The repro-lint CLI: formats, selection, baseline round-trip."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.devtools.lint import Baseline, BaselineError
+from repro.devtools.lint.cli import main
+
+from tests.devtools.conftest import FIXTURES, REPO_ROOT
+
+BAD = FIXTURES / "core" / "bad_determinism.py"
+GOOD = FIXTURES / "core" / "good_determinism.py"
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestExitCodes:
+    def test_clean_run_exits_zero(self):
+        code, _ = run_cli(str(GOOD))
+        assert code == 0
+
+    def test_findings_exit_one(self):
+        code, _ = run_cli(str(BAD))
+        assert code == 1
+
+    def test_bad_baseline_exits_two(self, tmp_path):
+        broken = tmp_path / "baseline.json"
+        broken.write_text('{"version": 99}')
+        code, _ = run_cli(str(BAD), "--baseline", str(broken))
+        assert code == 2
+
+    def test_empty_selection_exits_two(self):
+        code, _ = run_cli(str(BAD), "--select", "NOPE")
+        assert code == 2
+
+
+class TestJsonFormat:
+    def test_payload_shape(self):
+        code, out = run_cli(str(BAD), "--format", "json")
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["checked_files"] == 1
+        rules = {f["rule"] for f in payload["findings"]}
+        assert rules == {"RPL001", "RPL002", "RPL003", "RPL004"}
+        first = payload["findings"][0]
+        assert set(first) == {
+            "rule",
+            "category",
+            "path",
+            "line",
+            "col",
+            "message",
+            "fix_hint",
+        }
+
+    def test_select_and_ignore_prefixes(self):
+        _, out = run_cli(
+            str(BAD), "--format", "json", "--select", "RPL001,RPL002"
+        )
+        rules = {
+            f["rule"] for f in json.loads(out)["findings"]
+        }
+        assert rules == {"RPL001", "RPL002"}
+        _, out = run_cli(
+            str(BAD), "--format", "json", "--ignore", "RPL00"
+        )
+        assert json.loads(out)["findings"] == []
+
+
+class TestBaselineRoundTrip:
+    def test_json_findings_suppress_through_baseline(self, tmp_path):
+        # 1. lint -> JSON findings
+        code, out = run_cli(str(BAD), "--format", "json")
+        assert code == 1
+        findings = json.loads(out)["findings"]
+        # 2. findings -> baseline file (as --write-baseline emits)
+        baseline_path = tmp_path / "baseline.json"
+        entries = [
+            {
+                "rule": f["rule"],
+                "path": f["path"],
+                "line": f["line"],
+                "justification": "fixture: intentionally seeded",
+            }
+            for f in findings
+        ]
+        baseline_path.write_text(
+            json.dumps({"version": 1, "entries": entries})
+        )
+        # 3. relint with the baseline -> clean exit, all suppressed
+        code, out = run_cli(
+            str(BAD),
+            "--format",
+            "json",
+            "--baseline",
+            str(baseline_path),
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["findings"] == []
+        assert len(payload["suppressed"]) == len(findings)
+        assert payload["stale_baseline_entries"] == []
+
+    def test_write_baseline_output_reloads(self, tmp_path):
+        baseline_path = tmp_path / "generated.json"
+        code, _ = run_cli(
+            str(BAD), "--write-baseline", str(baseline_path)
+        )
+        assert code == 0
+        baseline = Baseline.load(baseline_path)
+        assert len(baseline.entries) == 6  # the fixture's findings
+        code, _ = run_cli(
+            str(BAD), "--baseline", str(baseline_path)
+        )
+        assert code == 0
+
+    def test_stale_entries_are_reported_not_fatal(self, tmp_path):
+        baseline_path = tmp_path / "stale.json"
+        baseline_path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "rule": "RPL999",
+                            "path": "nowhere.py",
+                            "line": 1,
+                            "justification": "long gone",
+                        }
+                    ],
+                }
+            )
+        )
+        code, out = run_cli(
+            str(GOOD),
+            "--format",
+            "json",
+            "--baseline",
+            str(baseline_path),
+        )
+        assert code == 0
+        stale = json.loads(out)["stale_baseline_entries"]
+        assert stale == [
+            {"rule": "RPL999", "path": "nowhere.py", "line": 1}
+        ]
+
+    def test_unjustified_entry_rejected(self, tmp_path):
+        baseline_path = tmp_path / "unjustified.json"
+        baseline_path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "rule": "RPL001",
+                            "path": "x.py",
+                            "line": 1,
+                            "justification": "   ",
+                        }
+                    ],
+                }
+            )
+        )
+        with pytest.raises(BaselineError):
+            Baseline.load(baseline_path)
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_runs(self):
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.devtools.lint",
+                str(GOOD),
+                "--format",
+                "json",
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert json.loads(proc.stdout)["findings"] == []
+
+    def test_list_rules_covers_all_families(self):
+        code, out = run_cli("--list-rules")
+        assert code == 0
+        for family_member in ("RPL001", "RPL101", "RPL201", "RPL301"):
+            assert family_member in out

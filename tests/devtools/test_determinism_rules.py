@@ -1,0 +1,68 @@
+"""RPL001-RPL004: the determinism family against known fixtures."""
+
+from __future__ import annotations
+
+from repro.devtools.lint import run_lint, select_rules, ALL_RULES
+
+from tests.devtools.conftest import FIXTURES, rule_lines
+
+BAD = FIXTURES / "core" / "bad_determinism.py"
+GOOD = FIXTURES / "core" / "good_determinism.py"
+OUTSIDE = FIXTURES / "outside" / "uses_random.py"
+
+
+def lint(*paths):
+    findings, _ = run_lint(list(paths), root=FIXTURES.parents[2])
+    return findings
+
+
+class TestKnownBad:
+    def test_exact_rule_ids_and_lines(self):
+        findings = lint(BAD)
+        by_rule = {
+            rule: rule_lines(findings, rule, "bad_determinism.py")
+            for rule in ("RPL001", "RPL002", "RPL003", "RPL004")
+        }
+        assert by_rule == {
+            "RPL001": [8],
+            "RPL002": [16, 17],
+            "RPL003": [18, 19],
+            "RPL004": [20],
+        }
+
+    def test_messages_name_the_offense(self):
+        findings = lint(BAD)
+
+        def messages(rule):
+            return [f.message for f in findings if f.rule == rule]
+
+        assert any("random" in m for m in messages("RPL001"))
+        assert any("time.time" in m for m in messages("RPL002"))
+        assert any(
+            "datetime.datetime.now" in m for m in messages("RPL002")
+        )
+        assert any("default_rng" in m for m in messages("RPL003"))
+        assert any("seed" in m for m in messages("RPL004"))
+
+    def test_every_finding_carries_a_fix_hint(self):
+        assert all(f.fix_hint for f in lint(BAD))
+
+
+class TestKnownGood:
+    def test_seeded_and_perf_counter_patterns_pass(self):
+        assert lint(GOOD) == []
+
+    def test_out_of_scope_file_is_ignored(self):
+        assert lint(OUTSIDE) == []
+
+
+def test_family_selectable_by_prefix():
+    rules = select_rules(ALL_RULES, select=["RPL00"])
+    assert {r.id for r in rules} == {
+        "RPL001",
+        "RPL002",
+        "RPL003",
+        "RPL004",
+    }
+    findings, _ = run_lint([FIXTURES], rules=rules, root=FIXTURES)
+    assert {f.rule for f in findings} <= {r.id for r in rules}

@@ -1,0 +1,48 @@
+"""RPL301-RPL303: general-hygiene rules against fixtures."""
+
+from __future__ import annotations
+
+from repro.devtools.lint import run_lint
+
+from tests.devtools.conftest import FIXTURES, rule_lines
+
+WRITER = FIXTURES / "repro" / "report_writer.py"
+CLEAN = FIXTURES / "repro" / "clean_library.py"
+
+
+def lint(*paths):
+    findings, _ = run_lint(list(paths), root=FIXTURES)
+    return findings
+
+
+class TestKnownBad:
+    def test_mutable_default(self):
+        findings = lint(WRITER)
+        assert rule_lines(findings, "RPL301", "report_writer.py") == [
+            9
+        ]
+        (finding,) = [f for f in findings if f.rule == "RPL301"]
+        assert "dump_report" in finding.message
+
+    def test_print_in_library(self):
+        assert rule_lines(lint(WRITER), "RPL303", "report_writer.py") == [
+            10
+        ]
+
+    def test_swallowed_broad_except(self):
+        findings = lint(WRITER)
+        assert rule_lines(findings, "RPL302", "report_writer.py") == [
+            14
+        ]
+        (finding,) = [f for f in findings if f.rule == "RPL302"]
+        assert "except Exception" in finding.message
+
+
+class TestKnownGood:
+    def test_sanctioned_counterparts_pass(self):
+        findings = lint(CLEAN)
+        assert [
+            f
+            for f in findings
+            if f.rule in ("RPL301", "RPL302", "RPL303")
+        ] == []

@@ -1,0 +1,52 @@
+"""Tier-1 gate: the shipped tree stays lint-clean, fast.
+
+A determinism/schema/tracing regression anywhere in ``src/repro``
+fails this test immediately — the lint layer's whole purpose.  The
+wider tree (scripts, examples, benchmarks) is additionally held to
+the checked-in ``lint-baseline.json``, whose entries must all be
+justified AND still matching (stale entries fail too, so the baseline
+can only shrink or be consciously edited).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.devtools.lint import Baseline, run_lint
+
+from tests.devtools.conftest import REPO_ROOT
+
+
+def render(findings) -> str:
+    return "\n".join(f.render() for f in findings)
+
+
+def test_src_repro_is_lint_clean_and_fast():
+    start = time.perf_counter()
+    findings, n_files = run_lint(
+        [REPO_ROOT / "src" / "repro"], root=REPO_ROOT
+    )
+    elapsed = time.perf_counter() - start
+    assert findings == [], "\n" + render(findings)
+    assert n_files >= 80, "lint walked suspiciously few files"
+    assert elapsed < 5.0, f"lint took {elapsed:.2f}s (budget 5s)"
+
+
+def test_full_tree_clean_under_shipped_baseline():
+    findings, _ = run_lint(
+        [
+            REPO_ROOT / "src" / "repro",
+            REPO_ROOT / "scripts",
+            REPO_ROOT / "examples",
+            REPO_ROOT / "benchmarks",
+        ],
+        root=REPO_ROOT,
+    )
+    baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+    active, suppressed, unused = baseline.partition(findings)
+    assert active == [], "\n" + render(active)
+    assert unused == [], f"stale baseline entries: {unused}"
+    # Baseline policy: justified-only.
+    assert all(
+        len(e.justification) >= 20 for e in baseline.entries
+    ), "baseline justifications must be real sentences"

@@ -1,0 +1,80 @@
+"""RPL201-RPL205: observability-contract rules against fixtures."""
+
+from __future__ import annotations
+
+from repro.devtools.lint import TAXONOMY_RE, run_lint
+
+from tests.devtools.conftest import FIXTURES, rule_lines
+
+OBS = FIXTURES / "obs_world" / "monitor_stats.py"
+WRITER = FIXTURES / "repro" / "report_writer.py"
+CLEAN = FIXTURES / "repro" / "clean_library.py"
+
+
+def lint(*paths):
+    findings, _ = run_lint(list(paths), root=FIXTURES)
+    return findings
+
+
+class TestSpanAndMetricTaxonomy:
+    def test_malformed_span_labels_with_lines(self):
+        findings = lint(OBS)
+        assert rule_lines(findings, "RPL201", "monitor_stats.py") == [
+            9,
+            11,
+            13,
+        ]
+
+    def test_metric_name_off_taxonomy(self):
+        findings = lint(OBS)
+        assert rule_lines(findings, "RPL202", "monitor_stats.py") == [
+            17
+        ]
+
+    def test_kind_conflict_is_project_wide(self):
+        findings = lint(OBS)
+        (conflict,) = [f for f in findings if f.rule == "RPL203"]
+        assert conflict.line == 19
+        assert "engine.flips" in conflict.message
+        assert "counter" in conflict.message
+
+    def test_taxonomy_regex_accepts_the_documented_namespaces(self):
+        for name in (
+            "engine.spam_rate",
+            "network.captures.promoted",
+            "label.minhash",
+            "ml.cv_fold_seconds",
+            "experiment.run_plan",
+        ):
+            assert TAXONOMY_RE.match(name), name
+        for name in ("labeling.minhash", "engine", "ml.Fit", "x.y"):
+            assert not TAXONOMY_RE.match(name), name
+
+
+class TestExperimentSpanCoverage:
+    def test_unwrapped_mutator_flagged_once_per_method(self):
+        findings = lint(OBS)
+        flagged = [f for f in findings if f.rule == "RPL204"]
+        assert [f.line for f in flagged] == [24]
+        assert "advance" in flagged[0].message
+        assert "run_hours" in flagged[0].message
+
+    def test_covered_and_private_methods_pass(self):
+        messages = [
+            f.message for f in lint(OBS) if f.rule == "RPL204"
+        ]
+        assert not any("covered" in m for m in messages)
+        assert not any("_internal" in m for m in messages)
+
+
+class TestArtifactWrites:
+    def test_bypass_writes_flagged_with_lines(self):
+        findings = lint(WRITER)
+        assert rule_lines(findings, "RPL205", "report_writer.py") == [
+            12,
+            13,
+            16,
+        ]
+
+    def test_read_open_passes(self):
+        assert [f for f in lint(CLEAN) if f.rule == "RPL205"] == []

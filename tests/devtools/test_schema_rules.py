@@ -1,0 +1,79 @@
+"""RPL101/RPL102: schema-contract rules against layout fixtures."""
+
+from __future__ import annotations
+
+from repro.devtools.lint import run_lint
+from repro.devtools.lint.schema_rules import (
+    EXPECTED_GROUPS,
+    EXPECTED_TOTAL,
+    canonical_schema_path,
+)
+
+from tests.devtools.conftest import FIXTURES, rule_lines
+
+BAD_WORLD = FIXTURES / "bad_world"
+GOOD_WORLD = FIXTURES / "good_world"
+
+
+def lint(*paths):
+    findings, _ = run_lint(list(paths), root=FIXTURES)
+    return findings
+
+
+class TestSchemaShape:
+    def test_57_name_schema_is_caught(self):
+        findings = [f for f in lint(BAD_WORLD) if f.rule == "RPL101"]
+        messages = " | ".join(f.message for f in findings)
+        # 17 behavior names, the 57-feature derivation, and the stale
+        # group range are each their own finding.
+        assert "17 names" in messages
+        assert "57 features" in messages
+        assert "FEATURE_GROUPS" in messages
+        assert all(
+            f.path.endswith("bad_world/features/schema.py")
+            for f in findings
+        )
+
+    def test_full_layout_passes(self):
+        assert [f for f in lint(GOOD_WORLD) if f.rule == "RPL101"] == []
+
+    def test_shipped_schema_passes(self):
+        path = canonical_schema_path()
+        assert path.is_file()
+        findings, _ = run_lint([path], root=path.parents[3])
+        assert [f for f in findings if f.rule == "RPL101"] == []
+
+    def test_paper_constants(self):
+        # The rule encodes Section IV-A, not the current code.
+        assert EXPECTED_TOTAL == 58
+        assert EXPECTED_GROUPS["behavior"] == (40, 58)
+
+
+class TestKnownFeatureNames:
+    def test_stale_literals_are_caught_with_lines(self):
+        findings = lint(GOOD_WORLD)
+        assert rule_lines(findings, "RPL102", "uses_features.py") == [
+            9,
+            11,
+        ]
+        messages = [f.message for f in findings if f.rule == "RPL102"]
+        assert any("not_a_feature" in m for m in messages)
+        assert any("typo_group" in m for m in messages)
+
+    def test_nearest_schema_wins_when_both_worlds_linted(self):
+        # good_world/core/uses_features.py must resolve against its
+        # *sibling* schema even with bad_world's schema in the run.
+        findings = lint(BAD_WORLD, GOOD_WORLD)
+        assert rule_lines(findings, "RPL102", "uses_features.py") == [
+            9,
+            11,
+        ]
+
+    def test_canonical_schema_used_when_no_schema_in_paths(self):
+        # Linting only a consumer file falls back to the packaged
+        # repro/features/schema.py, which has none of the fixture
+        # names — both literals now miss, plus the group key.
+        findings = lint(GOOD_WORLD / "core" / "uses_features.py")
+        names = [f.message for f in findings if f.rule == "RPL102"]
+        assert any("sender_p01" in m for m in names)
+        assert any("not_a_feature" in m for m in names)
