@@ -1,0 +1,81 @@
+"""The perf harness end-to-end: BENCH artifacts and the gate.
+
+These run the real ``scripts/bench.py`` CLI (micro workload, seconds)
+in a scratch directory, so they live under ``benchmarks/`` rather than
+the tier-1 ``tests/`` tree.  They prove the acceptance loop: a first
+run writes ``BENCH_<runid>.json``, a second run diffs against it, and
+a doctored slow baseline trips the non-zero exit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+BENCH_CLI = REPO_ROOT / "scripts" / "bench.py"
+
+
+def run_bench(tmp_path: Path, *extra: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_PROFILE", None)
+    return subprocess.run(
+        [
+            sys.executable,
+            str(BENCH_CLI),
+            "--scale",
+            "micro",
+            "--out-dir",
+            str(tmp_path),
+            *extra,
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+    )
+
+
+def test_first_run_writes_artifact_and_skips_gate(tmp_path):
+    result = run_bench(tmp_path, "--runid", "run_a")
+    assert result.returncode == 0, result.stderr
+    payload = json.loads((tmp_path / "BENCH_run_a.json").read_text())
+    assert payload["schema"] == "repro-bench/1"
+    assert any(
+        name.startswith("experiment.") for name in payload["phases"]
+    )
+    assert payload["totals"]["wall_s"] > 0
+    assert "gate skipped" in result.stdout
+
+
+def test_second_run_diffs_against_previous(tmp_path):
+    first = run_bench(tmp_path, "--runid", "run_a")
+    assert first.returncode == 0, first.stderr
+    second = run_bench(tmp_path, "--runid", "run_b")
+    assert second.returncode == 0, second.stderr
+    assert "run_a" in second.stdout
+    assert "experiment.collect_ground_truth" in second.stdout
+    assert "<total>" in second.stdout
+
+
+def test_doctored_slow_baseline_trips_the_gate(tmp_path):
+    first = run_bench(tmp_path, "--runid", "run_a")
+    assert first.returncode == 0, first.stderr
+    # Rewrite the baseline claiming every phase used to be ~instant,
+    # so the real second run reads as a massive regression.
+    baseline = tmp_path / "BENCH_run_a.json"
+    payload = json.loads(baseline.read_text())
+    for entry in payload["phases"].values():
+        entry["wall_s"] = 0.05
+    payload["totals"]["wall_s"] = 0.05 * len(payload["phases"])
+    baseline.write_text(json.dumps(payload))
+    gated = run_bench(tmp_path, "--runid", "run_b")
+    assert gated.returncode == 1
+    assert "PERF REGRESSION" in gated.stderr
+    assert "<< REGRESSION" in gated.stdout
+    ungated = run_bench(tmp_path, "--runid", "run_c", "--no-gate")
+    assert ungated.returncode == 0, ungated.stderr

@@ -1,0 +1,133 @@
+"""Perf-regression gate: run a canonical workload, emit BENCH_*.json.
+
+Runs one of the preset benchmark workloads (micro/tiny/small) fully
+instrumented, distills the run report's ``experiment.*`` span tree
+into ``BENCH_<runid>.json`` at the repo root, and diffs it against the
+newest previous BENCH file.  Any phase slower than the threshold
+(default +35%, override with ``--threshold`` or
+``REPRO_BENCH_THRESHOLD``) makes the script **exit non-zero** — wire
+it next to the tier-1 pytest command to catch perf regressions per PR:
+
+    REPRO_SCALE=tiny PYTHONPATH=src python scripts/bench.py
+
+``--profile`` additionally attaches cProfile top-N hot functions to
+each outermost phase span (see ``repro.obs.profiling``); ``--live``
+tails the event stream to stderr while the workload runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import logging
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import configure_logging  # noqa: E402
+from repro.analysis import WORKLOAD_NAMES, run_bench_workload  # noqa: E402
+from repro.obs import (  # noqa: E402
+    BenchResult,
+    LiveMonitor,
+    diff_benchmarks,
+    find_previous,
+    set_profiling,
+)
+from repro.obs.bench import DEFAULT_THRESHOLD  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        choices=WORKLOAD_NAMES,
+        default=os.environ.get("REPRO_SCALE", "tiny"),
+        help="workload preset (env REPRO_SCALE; default tiny)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(
+            os.environ.get("REPRO_BENCH_THRESHOLD", DEFAULT_THRESHOLD)
+        ),
+        help="regression gate as a fraction (0.35 = fail on +35%%)",
+    )
+    parser.add_argument(
+        "--runid",
+        default=None,
+        help="artifact id (default: UTC timestamp)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=REPO_ROOT,
+        help="where BENCH_<runid>.json lands (default: repo root)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach cProfile top-N hot functions to phase spans",
+    )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="tail the event stream to stderr while running",
+    )
+    parser.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="write the artifact but never fail on regressions",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = parse_args(argv)
+    configure_logging(logging.WARNING)
+    runid = args.runid or datetime.datetime.now(
+        datetime.timezone.utc
+    ).strftime("%Y%m%dT%H%M%SZ")
+    if args.profile:
+        set_profiling(True)
+
+    monitor = LiveMonitor() if args.live else None
+    if monitor is not None:
+        monitor.attach()
+    try:
+        report = run_bench_workload(args.scale, seed=args.seed)
+    finally:
+        if monitor is not None:
+            monitor.detach()
+
+    current = BenchResult.capture(
+        report, runid, scale=args.scale, seed=args.seed
+    )
+    previous_path = find_previous(args.out_dir, exclude_runid=runid)
+    path = current.save(args.out_dir)
+    print(f"benchmark artifact: {path}")
+
+    if previous_path is None:
+        print("no previous BENCH_*.json found; regression gate skipped")
+        return 0
+    previous = BenchResult.load(previous_path)
+    diff = diff_benchmarks(previous, current, threshold=args.threshold)
+    print()
+    print(diff.render())
+    if not diff.ok and not args.no_gate:
+        print(
+            f"\nPERF REGRESSION: {len(diff.regressions)} phase(s) "
+            f"slower than +{100 * args.threshold:.0f}% "
+            f"vs {previous_path.name}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# One-command local gate: style, invariants, tier-1 tests.
+#
+#   ./scripts/check.sh            # the full chain
+#   ./scripts/check.sh --fast     # skip pytest (lint + style only)
+#
+# Mirrors what CI runs; scripts/bench.py (the perf gate) and the
+# benchmarks/ suite are heavier and stay separate.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "== ruff (style) =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src scripts tests benchmarks examples
+else
+    echo "ruff not installed; skipping style pass"
+fi
+
+echo "== repro-lint (invariants) =="
+PYTHONPATH=src python -m repro.devtools.lint \
+    src/repro scripts examples benchmarks \
+    --baseline lint-baseline.json
+
+if [[ "$fast" == "0" ]]; then
+    echo "== tier-1 pytest =="
+    PYTHONPATH=src python -m pytest -x -q
+fi
+
+echo "== all checks passed =="

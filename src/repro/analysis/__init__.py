@@ -1,12 +1,16 @@
 """Result aggregation, shared sessions, and table rendering."""
 
+from .bench import WORKLOAD_NAMES, run_bench_workload, workload_scale
 from .session import ReproSession, SessionScale, get_session
 from .tables import format_cell, render_table
 
 __all__ = [
     "ReproSession",
     "SessionScale",
+    "WORKLOAD_NAMES",
     "format_cell",
     "get_session",
     "render_table",
+    "run_bench_workload",
+    "workload_scale",
 ]

@@ -1,0 +1,112 @@
+"""Canonical benchmark workloads behind ``scripts/bench.py``.
+
+A benchmark run must execute the *same* phase sequence every time or
+its ``BENCH_<runid>.json`` timings are not comparable across commits.
+This module pins that sequence: warm-up, ground-truth collection,
+labeling, detector training, the attribute sweep, and classification —
+the paper's pipeline end-to-end — at one of three preset scales:
+
+* ``micro`` — a few seconds; sanity checks and harness tests.
+* ``tiny``  — ~tens of seconds; the default CI perf gate.
+* ``small`` — minutes; local before/after comparisons.
+
+:func:`run_bench_workload` resets the observability layer, runs the
+workload fully instrumented, and returns the captured
+:class:`~repro.obs.report.RunReport`; ``scripts/bench.py`` distills
+that into a :class:`~repro.obs.bench.BenchResult`.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from ..core.experiment import PseudoHoneypotExperiment
+from ..obs import RunReport, reset, set_enabled
+from ..twittersim.config import SimulationConfig
+from .session import SessionScale
+
+log = logging.getLogger("repro.analysis.bench")
+
+
+def _micro_scale(seed: int) -> SessionScale:
+    """Smaller than ``tiny``: exercises every phase in seconds."""
+    return SessionScale(
+        name="micro",
+        sim=SimulationConfig.small(seed=seed),
+        warmup_hours=2,
+        gt_hours=4,
+        gt_targets=5,
+        gt_per_value=3,
+        main_hours=3,
+        main_per_value=1,
+        comparison_hours=2,
+        advanced_per_value=2,
+        candidate_pool=400,
+    )
+
+
+def workload_scale(name: str, seed: int = 7) -> SessionScale:
+    """The preset :class:`SessionScale` of one benchmark workload.
+
+    Raises:
+        KeyError: unknown workload name.
+    """
+    if name == "micro":
+        return _micro_scale(seed)
+    if name in ("tiny", "small"):
+        return SessionScale.by_name(name, seed=seed)
+    raise KeyError(
+        f"unknown bench workload {name!r} (micro/tiny/small)"
+    )
+
+
+#: Names accepted by :func:`workload_scale`, smallest first.
+WORKLOAD_NAMES = ("micro", "tiny", "small")
+
+
+def run_bench_workload(
+    scale_name: str = "tiny", seed: int = 7, **meta: object
+) -> RunReport:
+    """Run one canonical workload fully instrumented.
+
+    Resets the global observability state, enables recording, drives
+    the paper's phase sequence at the preset scale, and returns the
+    resulting report (phase tree + metrics).  The caller owns artifact
+    writing — nothing is saved here.
+
+    Raises:
+        KeyError: unknown workload name.
+    """
+    scale = workload_scale(scale_name, seed=seed)
+    reset()
+    set_enabled(True)
+    log.info("bench workload %s (seed %d) starting", scale.name, seed)
+    experiment = PseudoHoneypotExperiment(
+        scale.sim, candidate_pool=scale.candidate_pool
+    )
+    experiment.warm_up(scale.warmup_hours)
+    collection = experiment.collect_ground_truth(
+        hours=scale.gt_hours,
+        n_targets=scale.gt_targets,
+        per_value=scale.gt_per_value,
+    )
+    dataset = experiment.label_ground_truth(collection)
+    detector = experiment.train_detector(collection, dataset)
+    sweep = experiment.run_full_network(
+        hours=scale.main_hours, per_value=scale.main_per_value
+    )
+    outcome = experiment.classify(detector, sweep)
+    report = experiment.export_report(
+        scale=scale.name,
+        captures=collection.n_captures + sweep.n_captures,
+        n_spams=outcome.n_spams,
+        **meta,
+    )
+    log.info(
+        "bench workload %s done: %d+%d captures, %d spams",
+        scale.name,
+        collection.n_captures,
+        sweep.n_captures,
+        outcome.n_spams,
+    )
+    return report

@@ -25,7 +25,7 @@ from pathlib import Path
 from ..labeling.manual import ManualChecker
 from ..labeling.pipeline import GroundTruthLabeler, LabeledDataset
 from ..ml.base import Classifier
-from ..obs import RunReport, trace
+from ..obs import LiveMonitor, RunReport, profile
 from ..twittersim.api.rest import RestClient
 from ..twittersim.config import SimulationConfig
 from ..twittersim.engine import TwitterEngine
@@ -93,7 +93,7 @@ class PseudoHoneypotExperiment:
     def warm_up(self, hours: int = 4) -> None:
         """Run unmonitored hours so trending and timelines populate."""
         log.info("phase warm_up: %d unmonitored hours", hours)
-        with trace("experiment.warm_up", hours=hours):
+        with profile("experiment.warm_up", hours=hours):
             self.engine.run_hours(hours)
 
     def run_plan(
@@ -104,7 +104,7 @@ class PseudoHoneypotExperiment:
         seed_offset: int = 0,
     ) -> NetworkRun:
         """Deploy a plan for ``hours`` monitored hours and collect."""
-        with trace("experiment.run_plan", hours=hours) as span:
+        with profile("experiment.run_plan", hours=hours) as span:
             network = PseudoHoneypotNetwork(
                 self.engine,
                 self.make_selector(seed_offset),
@@ -146,7 +146,7 @@ class PseudoHoneypotExperiment:
         plan = SelectionPlan.random_plan(
             n_targets, per_value, seed=self.config.seed + 17
         )
-        with trace("experiment.collect_ground_truth", hours=hours) as span:
+        with profile("experiment.collect_ground_truth", hours=hours) as span:
             run = self.run_plan(plan, hours, seed_offset=17)
             span.set(
                 captures=run.n_captures,
@@ -172,7 +172,7 @@ class PseudoHoneypotExperiment:
             unlabeled_audit_rate=unlabeled_audit_rate,
             minhash_seed=self.config.seed,
         )
-        with trace("experiment.label_ground_truth") as span:
+        with profile("experiment.label_ground_truth") as span:
             dataset = labeler.label(
                 [capture.tweet for capture in run.captures]
             )
@@ -197,7 +197,7 @@ class PseudoHoneypotExperiment:
             dataset.n_spams,
         )
         detector = PseudoHoneypotDetector(classifier=classifier)
-        with trace("experiment.train_detector") as span:
+        with profile("experiment.train_detector") as span:
             detector.fit_from_ground_truth(run.captures, dataset)
             span.set(
                 n_training_tweets=dataset.n_tweets,
@@ -215,7 +215,7 @@ class PseudoHoneypotExperiment:
             hours,
             per_value,
         )
-        with trace("experiment.run_full_network", hours=hours) as span:
+        with profile("experiment.run_full_network", hours=hours) as span:
             run = self.run_plan(
                 SelectionPlan.full_paper_plan(per_value),
                 hours,
@@ -232,7 +232,7 @@ class PseudoHoneypotExperiment:
     ) -> ClassificationOutcome:
         """Phase 5: detector verdicts over a network run's captures."""
         log.info("phase classify: %d captures", run.n_captures)
-        with trace("experiment.classify") as span:
+        with profile("experiment.classify") as span:
             outcome = detector.classify(run.captures)
             span.set(
                 captures=run.n_captures,
@@ -253,7 +253,7 @@ class PseudoHoneypotExperiment:
         comparisons (advanced pseudo-honeypot vs. non pseudo-honeypot,
         Figure 6) free of run-to-run variance in the world itself.
         """
-        with trace(
+        with profile(
             "experiment.run_plans_concurrently",
             hours=hours,
             n_plans=len(plans),
@@ -281,7 +281,7 @@ class PseudoHoneypotExperiment:
             "/".join(networks) or "-",
             hours,
         )
-        with trace("experiment.run_networks", hours=hours) as span:
+        with profile("experiment.run_networks", hours=hours) as span:
             for __ in range(hours):
                 for network in networks.values():
                     network.prepare_hour()
@@ -310,6 +310,20 @@ class PseudoHoneypotExperiment:
         return runs
 
     # -- reporting -------------------------------------------------------
+
+    def live(self, out=None) -> LiveMonitor:
+        """A console monitor tailing this process's event stream.
+
+        Use as a context manager around any phase to watch captures
+        per node-hour, selector fill rates, and label-stage deltas
+        while the run is still in flight:
+
+        .. code-block:: python
+
+            with exp.live():
+                exp.run_full_network(hours=24)
+        """
+        return LiveMonitor(out=out)
 
     def export_report(
         self, path: str | Path | None = None, **meta: object

@@ -16,7 +16,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from ..obs import get_registry
+from ..obs import get_event_stream, get_registry
 from ..twittersim.entities import Tweet
 from .selection import HoneypotNode
 
@@ -62,6 +62,7 @@ class PseudoHoneypotMonitor:
             category: registry.counter(f"network.captures.{category.value}")
             for category in CaptureCategory
         }
+        self._events = get_event_stream()
 
     @property
     def node_ids(self) -> set[int]:
@@ -109,6 +110,12 @@ class PseudoHoneypotMonitor:
         )
         self._m_captures.inc()
         self._m_by_category[category].inc()
+        self._events.emit(
+            "network.capture",
+            hour=self._hour,
+            category=category.value,
+            n_nodes_crossed=len(crossed),
+        )
 
     def drain(self) -> list[CapturedTweet]:
         """Return and clear the capture buffer."""

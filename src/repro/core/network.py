@@ -13,7 +13,7 @@ import logging
 from collections import defaultdict
 from dataclasses import dataclass, field
 
-from ..obs import get_registry, trace
+from ..obs import get_event_stream, get_registry, trace
 from ..twittersim.api.streaming import FilteredStream, StreamingClient
 from ..twittersim.engine import TwitterEngine
 from .monitor import CapturedTweet, PseudoHoneypotMonitor
@@ -77,6 +77,7 @@ class PseudoHoneypotNetwork:
         self._m_node_churn = registry.counter("network.node_churn")
         self._m_empty_hours = registry.counter("network.empty_capture_hours")
         self._m_fill_rate = registry.histogram("network.selector_fill_rate")
+        self._events = get_event_stream()
 
     @property
     def deployed(self) -> bool:
@@ -103,6 +104,13 @@ class PseudoHoneypotNetwork:
             )
             self._m_nodes_deployed.inc(len(self.current_nodes))
             self._record_selection(span)
+            self._events.emit(
+                "network.deploy",
+                hour=self.engine.clock.hour,
+                nodes_requested=self.plan.total_requested,
+                nodes_selected=len(self.current_nodes),
+                fill_rate=span.attributes.get("fill_rate", 1.0),
+            )
         log.info(
             "deployed %d/%d pseudo-honeypot nodes at hour %d",
             len(self.current_nodes),
@@ -187,6 +195,11 @@ class PseudoHoneypotNetwork:
         """Disconnect the stream (idempotent)."""
         if self._stream is not None and self._stream.connected:
             self._stream.disconnect()
+            self._events.emit(
+                "network.shutdown",
+                hours=self.exposure.hours,
+                captures=len(self.monitor.captured),
+            )
             log.info(
                 "network shut down after %d monitored hours, %d captures",
                 self.exposure.hours,
@@ -219,3 +232,11 @@ class PseudoHoneypotNetwork:
             self._m_node_churn.inc(churn)
             self._record_selection(span)
             span.set(node_churn=churn)
+            self._events.emit(
+                "network.switch",
+                hour=self.engine.clock.hour,
+                nodes_requested=self.plan.total_requested,
+                nodes_selected=len(self.current_nodes),
+                fill_rate=span.attributes.get("fill_rate", 1.0),
+                node_churn=churn,
+            )

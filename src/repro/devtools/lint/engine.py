@@ -35,6 +35,7 @@ from .hygiene import (
 )
 from .observability_rules import (
     ArtifactWriteRule,
+    EventNameRule,
     ExperimentSpanRule,
     InstrumentKindConflictRule,
     MetricNameRule,
@@ -55,6 +56,7 @@ ALL_RULES: tuple[Rule, ...] = (
     InstrumentKindConflictRule(),
     ExperimentSpanRule(),
     ArtifactWriteRule(),
+    EventNameRule(),
     MutableDefaultRule(),
     SwallowedExceptionRule(),
     NoPrintRule(),

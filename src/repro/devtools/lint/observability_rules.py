@@ -1,4 +1,4 @@
-"""Observability-contract rules (RPL201-RPL205).
+"""Observability-contract rules (RPL201-RPL206).
 
 PR 1's run reports are only diffable across PRs if the span/metric
 namespace stays stable: every label fits the dotted taxonomy DESIGN.md
@@ -50,13 +50,20 @@ MUTATOR_ATTRS = frozenset(
 )
 
 
+#: Span-opening callables: ``profile(...)`` is ``trace(...)`` plus CPU
+#: accounting, so every span rule treats the two identically.
+SPAN_OPENERS = frozenset({"trace", "profile"})
+
+
 def _is_trace_call(expr: ast.expr) -> bool:
-    """Whether ``expr`` is a ``trace(...)`` / ``*.trace(...)`` call."""
+    """Whether ``expr`` opens a span (``trace(...)``/``profile(...)``)."""
     if not isinstance(expr, ast.Call):
         return False
     func = expr.func
-    return (isinstance(func, ast.Name) and func.id == "trace") or (
-        isinstance(func, ast.Attribute) and func.attr == "trace"
+    return (
+        isinstance(func, ast.Name) and func.id in SPAN_OPENERS
+    ) or (
+        isinstance(func, ast.Attribute) and func.attr in SPAN_OPENERS
     )
 
 
@@ -92,15 +99,15 @@ def _label_findings(
 
 
 class SpanLabelRule(FileRule):
-    """RPL201: every ``trace(...)`` label fits the span taxonomy."""
+    """RPL201: every span label fits the taxonomy."""
 
     id = "RPL201"
     name = "span-label-taxonomy"
     category = "observability"
     description = (
-        "trace(\"...\") labels must be dotted lower_snake names under "
-        "one of the documented namespaces; f-string labels must start "
-        "with a literal namespace prefix."
+        "trace(\"...\")/profile(\"...\") labels must be dotted "
+        "lower_snake names under one of the documented namespaces; "
+        "f-string labels must start with a literal namespace prefix."
     )
     fix_hint = (
         "Pick the layer's namespace from DESIGN.md's span-taxonomy "
@@ -279,10 +286,18 @@ class ArtifactWriteRule(FileRule):
         "with a justification."
     )
 
+    #: Sanctioned artifact writers inside the observability layer:
+    #: RunReport.save, BenchResult.save, and the event JSONL sink.
+    SANCTIONED = (
+        ("obs", "report.py"),
+        ("obs", "bench.py"),
+        ("obs", "events.py"),
+    )
+
     def applies_to(self, ctx: FileContext) -> bool:
-        # RunReport.save is the sanctioned writer; CLI entry points
-        # write wherever the user pointed them.
-        if ctx.parts[-2:] == ("obs", "report.py"):
+        # The obs serializers are the sanctioned writers; CLI entry
+        # points write wherever the user pointed them.
+        if ctx.parts[-2:] in self.SANCTIONED:
             return False
         return ctx.parts[-1] not in ("cli.py", "__main__.py")
 
@@ -316,6 +331,7 @@ class ArtifactWriteRule(FileRule):
 
     @staticmethod
     def _open_mode_writes(node: ast.Call) -> bool:
+        """Whether an ``open``-ish call's mode argument writes."""
         mode: ast.expr | None = None
         if len(node.args) > 1:
             mode = node.args[1]
@@ -330,3 +346,34 @@ class ArtifactWriteRule(FileRule):
         if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
             return any(ch in mode.value for ch in "wax")
         return False
+
+
+class EventNameRule(FileRule):
+    """RPL206: every emitted event name fits the taxonomy."""
+
+    id = "RPL206"
+    name = "event-name-taxonomy"
+    category = "observability"
+    description = (
+        "Event names passed to emit(...) (the repro.obs event-stream "
+        "API) must be dotted lower_snake names under a documented "
+        "namespace — the same taxonomy as spans and metrics — so the "
+        "live stream, the phase tree, and the metrics snapshot stay "
+        "mutually joinable."
+    )
+    fix_hint = (
+        "Name events `<namespace>.<noun>` per the DESIGN.md event "
+        "taxonomy (e.g. engine.hour_completed, network.switch, "
+        "label.stage, ml.cv_fold); derive dynamic suffixes with an "
+        "f-string whose literal prefix carries the namespace."
+    )
+
+    def visit_Call(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterable[Finding]:
+        func = node.func
+        is_emit = (
+            isinstance(func, ast.Name) and func.id == "emit"
+        ) or (isinstance(func, ast.Attribute) and func.attr == "emit")
+        if is_emit:
+            yield from _label_findings(self, ctx, node, "event")

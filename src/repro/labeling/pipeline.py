@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..obs import get_registry, trace
+from ..obs import get_event_stream, get_registry, trace
 from ..twittersim.api.rest import RestClient
 from ..twittersim.entities import Tweet
 from ..twittersim.images import DEFAULT_IMAGE_ID
@@ -176,6 +176,7 @@ class GroundTruthLabeler:
                         spam_tweet[i] = method
 
         registry = get_registry()
+        events = get_event_stream()
 
         def stage_span(span, stage: str, before: tuple[int, int]) -> None:
             """Annotate a finished stage with its newly-labeled deltas."""
@@ -190,6 +191,14 @@ class GroundTruthLabeler:
             registry.counter(f"label.{stage}.spams").inc(max(new_spams, 0))
             registry.counter(f"label.{stage}.spammers").inc(
                 max(new_spammers, 0)
+            )
+            events.emit(
+                "label.stage",
+                stage=stage,
+                new_spams=new_spams,
+                new_spammers=new_spammers,
+                total_spams=len(spam_tweet),
+                total_spammers=len(spam_user),
             )
             log.info(
                 "labeling stage %s: %+d spams, %+d spammers",

@@ -13,7 +13,7 @@ from typing import Iterator
 
 import numpy as np
 
-from ..obs import get_registry, trace
+from ..obs import get_event_stream, get_registry, trace
 from .base import Classifier
 from .metrics import ClassificationReport, classification_report
 
@@ -159,16 +159,25 @@ def cross_validate(
     splitter = StratifiedKFold(n_splits=n_splits, seed=seed)
     reports: list[ClassificationReport] = []
     fold_seconds = get_registry().histogram("ml.cv_fold_seconds")
+    events = get_event_stream()
     with trace(
         "ml.cross_validate", n_splits=n_splits, n_samples=len(y)
     ) as span:
-        for train_idx, test_idx in splitter.split(y):
+        for fold, (train_idx, test_idx) in enumerate(splitter.split(y)):
             fold_start = time.perf_counter()
             model = make_classifier()  # type: ignore[operator]
             model.fit(X[train_idx], y[train_idx])
             y_pred = model.predict(X[test_idx])
             reports.append(classification_report(y[test_idx], y_pred))
-            fold_seconds.observe(time.perf_counter() - fold_start)
+            elapsed = time.perf_counter() - fold_start
+            fold_seconds.observe(elapsed)
+            events.emit(
+                "ml.cv_fold",
+                fold=fold,
+                classifier=type(model).__name__,
+                accuracy=round(reports[-1].accuracy, 6),
+                seconds=round(elapsed, 6),
+            )
         span.set(
             classifier=type(model).__name__,
             mean_accuracy=round(

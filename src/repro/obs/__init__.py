@@ -9,7 +9,18 @@ zero-dependency instrumentation layer:
 * a span :class:`~repro.obs.tracing.Tracer` for nested wall-clock
   phase timing (``with trace("label.minhash"): ...``);
 * :class:`~repro.obs.report.RunReport`, the JSON phase-tree artifact
-  that benchmarks and perf PRs diff against.
+  that benchmarks and perf PRs diff against;
+* a structured :class:`~repro.obs.events.EventStream`
+  (``emit("network.switch", churn=31)``) with a bounded ring buffer,
+  synchronous subscribers, and an optional JSONL sink — the *live*
+  counterpart of the post-hoc report;
+* :func:`~repro.obs.profiling.profile`, a ``trace`` variant that adds
+  CPU time (and, opt-in, cProfile top-N hot functions) to the span;
+* :class:`~repro.obs.live.LiveMonitor`, a console tail of the event
+  stream for in-flight runs;
+* :class:`~repro.obs.bench.BenchResult` + ``diff_benchmarks``, the
+  ``BENCH_<runid>.json`` perf-regression artifacts
+  (``scripts/bench.py``).
 
 Span taxonomy (dotted, one namespace per layer):
 
@@ -28,31 +39,56 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from .bench import (
+    BenchDiff,
+    BenchResult,
+    PhaseDelta,
+    diff_benchmarks,
+    find_previous,
+)
+from .events import Event, EventStream, JsonlSink
+from .live import LiveMonitor
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profiling import profile, profiling_enabled, set_profiling
 from .report import SUMMARY_HEADERS, RunReport
 from .tracing import NULL_SPAN, Span, Tracer
 
 __all__ = [
+    "BenchDiff",
+    "BenchResult",
     "Counter",
+    "Event",
+    "EventStream",
     "Gauge",
     "Histogram",
+    "JsonlSink",
+    "LiveMonitor",
     "MetricsRegistry",
     "NULL_SPAN",
+    "PhaseDelta",
     "RunReport",
     "SUMMARY_HEADERS",
     "Span",
     "Tracer",
+    "diff_benchmarks",
     "disabled",
+    "emit",
+    "find_previous",
+    "get_event_stream",
     "get_registry",
     "get_tracer",
     "is_enabled",
+    "profile",
+    "profiling_enabled",
     "reset",
     "set_enabled",
+    "set_profiling",
     "trace",
 ]
 
 _REGISTRY = MetricsRegistry(enabled=True)
 _TRACER = Tracer(_REGISTRY)
+_EVENTS = EventStream(_REGISTRY)
 
 
 def get_registry() -> MetricsRegistry:
@@ -65,9 +101,19 @@ def get_tracer() -> Tracer:
     return _TRACER
 
 
+def get_event_stream() -> EventStream:
+    """The process-global event stream (shares the enabled flag)."""
+    return _EVENTS
+
+
 def trace(name: str, **attributes):
     """Open a global span: ``with trace("experiment.classify"): ...``."""
     return _TRACER.trace(name, **attributes)
+
+
+def emit(name: str, **attributes) -> Event | None:
+    """Emit a global event: ``emit("network.switch", churn=31)``."""
+    return _EVENTS.emit(name, **attributes)
 
 
 def is_enabled() -> bool:
@@ -92,6 +138,7 @@ def disabled():
 
 
 def reset() -> None:
-    """Zero every metric and drop every span (test isolation)."""
+    """Zero metrics, drop spans and events (test isolation)."""
     _REGISTRY.reset()
     _TRACER.reset()
+    _EVENTS.reset()

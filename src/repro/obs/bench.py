@@ -1,0 +1,320 @@
+"""Perf-benchmark artifacts: ``BENCH_<runid>.json`` and regression diffs.
+
+The ROADMAP's "fast as the hardware allows" north star is unenforceable
+without a perf trajectory, so every benchmark run distills its
+:class:`~repro.obs.report.RunReport` span tree into a small, diffable
+``BENCH_<runid>.json`` at the repo root:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-bench/1",
+      "meta": {"runid": "20260806T120000", "scale": "tiny", "seed": 7},
+      "phases": {
+        "experiment.collect_ground_truth":
+            {"wall_s": 1.84, "cpu_s": 1.79, "calls": 1}
+      },
+      "totals": {"wall_s": 4.21, "cpu_s": 4.05}
+    }
+
+``phases`` aggregates every ``experiment.*`` span by name (wall-clock
+from span durations, CPU from the ``cpu_s`` attributes that
+:func:`repro.obs.profiling.profile` records), so the numbers reconcile
+exactly with the RunReport they came from.  ``diff_benchmarks``
+compares two such files phase-by-phase and flags any slowdown beyond a
+configurable threshold — ``scripts/bench.py`` turns that into a
+non-zero exit, i.e. a perf-regression gate.
+
+``BenchResult.save`` is a sanctioned artifact writer (like
+``RunReport.save``): lint rule RPL205 exempts this module so benchmark
+JSON never has to bypass the observability layer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .report import RunReport
+
+#: Format marker written into (and required from) every BENCH file.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: File-name prefix of benchmark artifacts at the repo root.
+BENCH_PREFIX = "BENCH_"
+
+#: Default regression gate: fail on >35% wall-clock slowdown.  Tiny
+#: workloads are seconds long, so tighter gates would trip on machine
+#: noise; calibrate down as workloads grow.
+DEFAULT_THRESHOLD = 0.35
+
+#: Phases faster than this are pure noise; the gate skips them.
+MIN_COMPARABLE_SECONDS = 0.05
+
+
+@dataclass
+class BenchResult:
+    """One benchmark run's per-phase timings, ready to serialize."""
+
+    meta: dict[str, object] = field(default_factory=dict)
+    #: phase name -> {"wall_s": float, "cpu_s": float, "calls": int}
+    phases: dict[str, dict[str, float]] = field(default_factory=dict)
+    totals: dict[str, float] = field(default_factory=dict)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def capture(
+        cls, report: RunReport, runid: str, **meta: object
+    ) -> "BenchResult":
+        """Distill a run report's span tree into bench timings.
+
+        Every ``experiment.*`` span contributes to its name's phase
+        entry; totals sum the *root* spans only (nested phases would
+        double-count).
+
+        Raises:
+            ValueError: if the report contains no experiment spans.
+        """
+        phases: dict[str, dict[str, float]] = {}
+        for span in report.phase_spans():
+            entry = phases.setdefault(
+                span.name, {"wall_s": 0.0, "cpu_s": 0.0, "calls": 0}
+            )
+            entry["wall_s"] += span.duration_s
+            cpu = span.attributes.get("cpu_s")
+            if isinstance(cpu, (int, float)):
+                entry["cpu_s"] += float(cpu)
+            entry["calls"] += 1
+        if not phases:
+            raise ValueError(
+                "report has no experiment.* spans to benchmark"
+            )
+        for entry in phases.values():
+            entry["wall_s"] = round(entry["wall_s"], 6)
+            entry["cpu_s"] = round(entry["cpu_s"], 6)
+        totals = {
+            "wall_s": round(
+                sum(span.duration_s for span in report.spans), 6
+            ),
+            "cpu_s": round(
+                sum(
+                    float(span.attributes.get("cpu_s", 0.0) or 0.0)
+                    for span in report.spans
+                ),
+                6,
+            ),
+        }
+        return cls(
+            meta={"runid": runid, **meta}, phases=phases, totals=totals
+        )
+
+    # -- (de)serialization ------------------------------------------------
+
+    @property
+    def runid(self) -> str:
+        return str(self.meta.get("runid", ""))
+
+    @property
+    def filename(self) -> str:
+        return f"{BENCH_PREFIX}{self.runid}.json"
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": BENCH_SCHEMA,
+            "meta": dict(self.meta),
+            "phases": {
+                name: dict(entry)
+                for name, entry in sorted(self.phases.items())
+            },
+            "totals": dict(self.totals),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchResult":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            ValueError: on a payload with the wrong schema marker.
+        """
+        if not isinstance(data, dict) or (
+            data.get("schema") != BENCH_SCHEMA
+        ):
+            raise ValueError(
+                f"not a {BENCH_SCHEMA} payload: "
+                f"schema={data.get('schema')!r}"
+                if isinstance(data, dict)
+                else "not a bench payload"
+            )
+        return cls(
+            meta=dict(data.get("meta", {})),
+            phases={
+                name: dict(entry)
+                for name, entry in data.get("phases", {}).items()
+            },
+            totals=dict(data.get("totals", {})),
+        )
+
+    def save(self, directory: str | Path) -> Path:
+        """Write ``BENCH_<runid>.json`` under ``directory``.
+
+        Raises:
+            ValueError: if the result carries no runid.
+        """
+        if not self.runid:
+            raise ValueError("cannot save a BenchResult without a runid")
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / self.filename
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BenchResult":
+        """Read a result previously written by :meth:`save`."""
+        return cls.from_dict(
+            json.loads(Path(path).read_text(encoding="utf-8"))
+        )
+
+
+def find_previous(
+    directory: str | Path, exclude_runid: str | None = None
+) -> Path | None:
+    """The newest ``BENCH_*.json`` under ``directory``, if any.
+
+    Runids sort lexicographically (the CLI stamps UTC timestamps), so
+    "newest" is the name-wise maximum, skipping ``exclude_runid``.
+    """
+    directory = Path(directory)
+    candidates = sorted(
+        path
+        for path in directory.glob(f"{BENCH_PREFIX}*.json")
+        if exclude_runid is None
+        or path.name != f"{BENCH_PREFIX}{exclude_runid}.json"
+    )
+    return candidates[-1] if candidates else None
+
+
+@dataclass(frozen=True)
+class PhaseDelta:
+    """One phase's before/after comparison."""
+
+    phase: str
+    previous_wall_s: float
+    current_wall_s: float
+
+    @property
+    def ratio(self) -> float:
+        """current/previous wall-clock (1.0 = unchanged)."""
+        if self.previous_wall_s <= 0:
+            return 1.0
+        return self.current_wall_s / self.previous_wall_s
+
+    @property
+    def change_pct(self) -> float:
+        return 100.0 * (self.ratio - 1.0)
+
+
+@dataclass
+class BenchDiff:
+    """Phase-by-phase comparison of two benchmark runs."""
+
+    previous_runid: str
+    current_runid: str
+    threshold: float
+    deltas: list[PhaseDelta] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[PhaseDelta]:
+        """Deltas slower than the threshold on comparable phases."""
+        return [
+            delta
+            for delta in self.deltas
+            if delta.previous_wall_s >= MIN_COMPARABLE_SECONDS
+            and delta.ratio > 1.0 + self.threshold
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        """Aligned text table of every compared phase."""
+        headers = ("Phase", "Prev s", "Curr s", "Change")
+        rows = [
+            (
+                delta.phase,
+                f"{delta.previous_wall_s:.3f}",
+                f"{delta.current_wall_s:.3f}",
+                f"{delta.change_pct:+.1f}%"
+                + (
+                    "  << REGRESSION"
+                    if delta in self.regressions
+                    else ""
+                ),
+            )
+            for delta in self.deltas
+        ]
+        table = [headers, *rows]
+        widths = [
+            max(len(row[i]) for row in table) for i in range(len(headers))
+        ]
+        lines = [
+            "  ".join(
+                cell.ljust(width) for cell, width in zip(row, widths)
+            )
+            for row in table
+        ]
+        lines.insert(1, "  ".join("-" * width for width in widths))
+        lines.append(
+            f"(vs {self.previous_runid}, threshold "
+            f"+{100.0 * self.threshold:.0f}%)"
+        )
+        return "\n".join(lines)
+
+
+def diff_benchmarks(
+    previous: BenchResult,
+    current: BenchResult,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> BenchDiff:
+    """Compare two bench results phase-by-phase plus the wall total.
+
+    Phases present in only one result are skipped (a new phase has no
+    baseline; a removed one has no current cost).
+
+    Raises:
+        ValueError: on a negative threshold.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    diff = BenchDiff(
+        previous_runid=previous.runid,
+        current_runid=current.runid,
+        threshold=threshold,
+    )
+    for name in sorted(set(previous.phases) & set(current.phases)):
+        diff.deltas.append(
+            PhaseDelta(
+                phase=name,
+                previous_wall_s=float(
+                    previous.phases[name].get("wall_s", 0.0)
+                ),
+                current_wall_s=float(
+                    current.phases[name].get("wall_s", 0.0)
+                ),
+            )
+        )
+    if previous.totals.get("wall_s") and current.totals.get("wall_s"):
+        diff.deltas.append(
+            PhaseDelta(
+                phase="<total>",
+                previous_wall_s=float(previous.totals["wall_s"]),
+                current_wall_s=float(current.totals["wall_s"]),
+            )
+        )
+    return diff

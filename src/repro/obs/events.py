@@ -1,0 +1,229 @@
+"""Structured event stream: the live counterpart of the span tracer.
+
+Spans answer *"how long did each phase take"* after the run; events
+answer *"what is happening right now"* while it is still in flight.
+An :class:`Event` is one typed, taxonomy-named occurrence (the same
+dotted ``engine. / network. / label. / ml. / experiment.`` namespaces
+the span tracer uses, enforced statically by lint rule RPL206):
+
+``engine.hour_completed``  one simulated hour finished (tweet counts)
+``network.deploy``         initial node selection went live
+``network.switch``         the hourly portability re-selection
+``network.capture``        one tweet crossed a deployed node
+``label.stage``            one Table-III labeling stage finished
+``ml.cv_fold``             one cross-validation fold finished
+
+Events flow through the process-global :class:`EventStream`:
+
+* a **bounded ring buffer** (``collections.deque(maxlen=...)``) keeps
+  the most recent events queryable without unbounded growth;
+* **subscribers** (the live console monitor, tests) see every event
+  synchronously as it is emitted;
+* an optional **JSONL sink** persists one JSON object per line for
+  offline tailing (``tail -f run.events.jsonl``).
+
+Like the metrics registry, the stream is *disableable*: while the
+owning registry is disabled, ``emit()`` is one attribute check and an
+early return, keeping instrumented hot paths (per-capture emits) within
+the <2% overhead envelope.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Callable, Iterator
+
+from .metrics import MetricsRegistry
+
+#: Default ring-buffer capacity: generous for hour-grained events, a
+#: few minutes of history for per-capture events at realistic rates.
+DEFAULT_CAPACITY = 4096
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One emitted occurrence on the stream."""
+
+    #: Monotonic per-stream sequence number (0-based).
+    seq: int
+    #: Taxonomy-dotted event name (``network.switch``).
+    name: str
+    #: Seconds since the stream's epoch (perf-counter offset, not
+    #: wall-clock, so event times are mutually comparable like spans).
+    t: float
+    #: Free-form payload (counts, rates, stage names).
+    attributes: dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON-ready)."""
+        return {
+            "seq": self.seq,
+            "name": self.name,
+            "t": round(self.t, 6),
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Event":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            KeyError: on a dict missing ``name`` or ``seq``.
+        """
+        return cls(
+            seq=int(data["seq"]),
+            name=data["name"],
+            t=float(data.get("t", 0.0)),
+            attributes=dict(data.get("attributes", {})),
+        )
+
+
+#: A subscriber sees every event synchronously at emit time.
+EventCallback = Callable[[Event], None]
+
+
+class JsonlSink:
+    """A subscriber that appends one JSON line per event to a file.
+
+    Close it (or use it as a context manager) to flush and release the
+    handle; the file is line-buffered in between so ``tail -f`` works
+    while the run is still going.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: IO[str] | None = self.path.open(
+            "w", encoding="utf-8", buffering=1
+        )
+
+    def __call__(self, event: Event) -> None:
+        if self._fh is not None:
+            self._fh.write(
+                json.dumps(event.to_dict(), sort_keys=True) + "\n"
+            )
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_jsonl(path: str | Path) -> list[Event]:
+    """Load every event previously written by a :class:`JsonlSink`."""
+    events = []
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(Event.from_dict(json.loads(line)))
+    return events
+
+
+class EventStream:
+    """Bounded in-memory event buffer with synchronous subscribers.
+
+    Not thread-safe: the simulation is single-threaded by design.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("event stream capacity must be >= 1")
+        self._registry = registry
+        self._buffer: deque[Event] = deque(maxlen=capacity)
+        self._subscribers: list[EventCallback] = []
+        self._seq = 0
+        self._epoch = time.perf_counter()
+
+    # -- emission ---------------------------------------------------------
+
+    def emit(self, name: str, **attributes: object) -> Event | None:
+        """Record one event; no-op (returns None) while disabled.
+
+        Subscribers run synchronously in subscription order; a raising
+        subscriber propagates (instrumentation bugs should be loud in
+        this codebase, not swallowed).
+        """
+        if not self._registry.enabled:
+            return None
+        event = Event(
+            seq=self._seq,
+            name=name,
+            t=time.perf_counter() - self._epoch,
+            attributes=attributes,
+        )
+        self._seq += 1
+        self._buffer.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    # -- subscription -----------------------------------------------------
+
+    def subscribe(self, callback: EventCallback) -> None:
+        """Register a synchronous per-event callback."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: EventCallback) -> None:
+        """Remove a previously registered callback (idempotent)."""
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Ring-buffer size (older events are evicted beyond it)."""
+        return self._buffer.maxlen or 0
+
+    @property
+    def total_emitted(self) -> int:
+        """Events emitted since the last reset (evicted ones included)."""
+        return self._seq
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterator[Event]:
+        """Buffered events, oldest first."""
+        return iter(self._buffer)
+
+    def events(self, name: str | None = None) -> list[Event]:
+        """Buffered events, optionally filtered by exact name."""
+        if name is None:
+            return list(self._buffer)
+        return [event for event in self._buffer if event.name == name]
+
+    def last(self, name: str | None = None) -> Event | None:
+        """The newest buffered event (with ``name``, if given)."""
+        for event in reversed(self._buffer):
+            if name is None or event.name == name:
+                return event
+        return None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop buffered events, restart seq + epoch; keep subscribers.
+
+        Subscribers persist across resets for the same reason metric
+        instruments keep identity: call sites cache references.
+        """
+        self._buffer.clear()
+        self._seq = 0
+        self._epoch = time.perf_counter()

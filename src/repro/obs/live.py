@@ -1,0 +1,154 @@
+"""Live console monitor: tails the event stream while a run is hot.
+
+The paper's system is an hourly *streaming* pipeline — the 2,400-node
+network is re-selected every hour and mention streams are monitored
+continuously — so waiting for ``export_report`` to learn that capture
+rates collapsed at hour 3 wastes the whole run.  :class:`LiveMonitor`
+subscribes to the global :class:`~repro.obs.events.EventStream` and
+renders one console line per interesting event:
+
+.. code-block:: text
+
+    hour   12 | tweets  1543 (spam  6.4%) | captures  +37  0.925/node-hr
+    switch    | nodes 40/40 fill 1.00 | churn 31
+    label suspended    | +102 spams  +21 spammers
+    cv fold  3 | accuracy 0.957  1.24s
+
+Use it as a context manager around any experiment phase (or grab one
+from ``PseudoHoneypotExperiment.live()``):
+
+.. code-block:: python
+
+    with LiveMonitor():
+        exp.run_full_network(hours=24)
+
+Output goes to a writable text stream (default ``sys.stderr``, so it
+interleaves with logging rather than corrupting stdout artifacts).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO
+
+from .events import Event
+
+
+class LiveMonitor:
+    """Subscribes to the global event stream; renders progress lines.
+
+    Args:
+        out: writable text stream (default ``sys.stderr``).
+        show_captures: render one line per individual capture too
+            (noisy; off by default — captures are summarized per hour).
+    """
+
+    def __init__(
+        self, out: IO[str] | None = None, show_captures: bool = False
+    ) -> None:
+        self._out = out if out is not None else sys.stderr
+        self._show_captures = show_captures
+        self._attached = False
+        #: Captures seen since the last completed hour line.
+        self._captures_this_hour = 0
+        #: Node count from the latest deploy/switch event.
+        self._nodes = 0
+        #: Lines rendered (tests assert on this without capturing IO).
+        self.lines_rendered = 0
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self) -> "LiveMonitor":
+        """Subscribe to the global stream (idempotent)."""
+        from . import get_event_stream
+
+        if not self._attached:
+            get_event_stream().subscribe(self.on_event)
+            self._attached = True
+        return self
+
+    def detach(self) -> None:
+        """Unsubscribe from the global stream (idempotent)."""
+        from . import get_event_stream
+
+        if self._attached:
+            get_event_stream().unsubscribe(self.on_event)
+            self._attached = False
+
+    def __enter__(self) -> "LiveMonitor":
+        return self.attach()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.detach()
+
+    # -- rendering --------------------------------------------------------
+
+    def on_event(self, event: Event) -> None:
+        """Dispatch one event to its renderer (unknown names ignored)."""
+        handler = getattr(
+            self, "_on_" + event.name.replace(".", "_"), None
+        )
+        if handler is not None:
+            handler(event.attributes)
+
+    def _emit_line(self, text: str) -> None:
+        self._out.write(text + "\n")
+        self._out.flush()
+        self.lines_rendered += 1
+
+    def _on_engine_hour_completed(self, attrs: dict) -> None:
+        tweets = attrs.get("tweets", 0)
+        spam = attrs.get("spam_mentions", 0)
+        spam_pct = 100.0 * spam / tweets if tweets else 0.0
+        captures = self._captures_this_hour
+        per_node_hour = captures / self._nodes if self._nodes else 0.0
+        line = (
+            f"hour {attrs.get('hour', '?'):>4} | "
+            f"tweets {tweets:>5} (spam {spam_pct:4.1f}%)"
+        )
+        if self._nodes:
+            line += (
+                f" | captures {captures:>+4d} "
+                f"{per_node_hour:6.3f}/node-hr"
+            )
+        self._emit_line(line)
+        self._captures_this_hour = 0
+
+    def _on_network_deploy(self, attrs: dict) -> None:
+        self._nodes = int(attrs.get("nodes_selected", 0))
+        self._emit_line(
+            f"deploy    | nodes {attrs.get('nodes_selected', '?')}/"
+            f"{attrs.get('nodes_requested', '?')} "
+            f"fill {attrs.get('fill_rate', 0.0):.2f}"
+        )
+
+    def _on_network_switch(self, attrs: dict) -> None:
+        self._nodes = int(attrs.get("nodes_selected", 0))
+        self._emit_line(
+            f"switch    | nodes {attrs.get('nodes_selected', '?')}/"
+            f"{attrs.get('nodes_requested', '?')} "
+            f"fill {attrs.get('fill_rate', 0.0):.2f} | "
+            f"churn {attrs.get('node_churn', '?')}"
+        )
+
+    def _on_network_capture(self, attrs: dict) -> None:
+        self._captures_this_hour += 1
+        if self._show_captures:
+            self._emit_line(
+                f"capture   | {attrs.get('category', '?')} "
+                f"hour {attrs.get('hour', '?')}"
+            )
+
+    def _on_label_stage(self, attrs: dict) -> None:
+        self._emit_line(
+            f"label {attrs.get('stage', '?'):<12} | "
+            f"{attrs.get('new_spams', 0):+d} spams  "
+            f"{attrs.get('new_spammers', 0):+d} spammers"
+        )
+
+    def _on_ml_cv_fold(self, attrs: dict) -> None:
+        self._emit_line(
+            f"cv fold {attrs.get('fold', '?'):>2} | "
+            f"accuracy {attrs.get('accuracy', 0.0):.3f}  "
+            f"{attrs.get('seconds', 0.0):.2f}s"
+        )

@@ -118,19 +118,30 @@ class Histogram:
         return max(self._values) if self._values else 0.0
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile, ``q`` in [0, 100]; 0.0 when empty.
+        """Nearest-rank percentile, ``q`` in [0, 100].
+
+        Edge cases are defined, not errors: an empty histogram answers
+        0.0 for every ``q`` and a single-sample histogram answers its
+        one sample (so ``p50``/``p95``/``summary()`` never raise on
+        sparse data — per-phase timing histograms routinely hold zero
+        or one observation at tiny scales).
 
         Raises:
-            ValueError: if ``q`` is outside [0, 100].
+            ValueError: if ``q`` is outside [0, 100] or not a number.
         """
         if not 0 <= q <= 100:
             raise ValueError(f"percentile {q} outside [0, 100]")
         if not self._values:
             return 0.0
+        if len(self._values) == 1:
+            return self._values[0]
         if not self._sorted:
             self._values.sort()
             self._sorted = True
-        rank = max(1, math.ceil(q / 100.0 * len(self._values)))
+        rank = min(
+            len(self._values),
+            max(1, math.ceil(q / 100.0 * len(self._values))),
+        )
         return self._values[rank - 1]
 
     @property

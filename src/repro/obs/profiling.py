@@ -1,0 +1,125 @@
+"""Profiling hooks layered on the span tracer.
+
+``profile("experiment.run_full_network")`` behaves exactly like
+``trace(...)`` — it opens the same taxonomy-named span on the global
+tracer — but additionally records **CPU time** (``time.process_time``)
+next to the span's wall-clock duration, and, when deep profiling is
+opted into, attaches the phase's **top-N hot functions** from
+``cProfile``:
+
+.. code-block:: python
+
+    from repro.obs import profile, set_profiling
+
+    set_profiling(True, top_n=10)      # or REPRO_PROFILE=1 in the env
+    with profile("experiment.classify") as span:
+        outcome = detector.classify(run.captures)
+
+The extra data lands in ordinary span attributes (``cpu_s``,
+``profile_top``), so it is serialized into the :class:`RunReport`
+phase tree with zero new schema — and stripped by
+``RunReport.normalized()`` alongside the wall-clock fields, keeping
+deterministic artifacts deterministic.
+
+Deep profiling is **opt-in** because ``cProfile`` itself costs 1.3-2x
+wall-clock; the default ``profile(...)`` adds only two
+``process_time`` reads per phase.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+import time
+from contextlib import contextmanager
+
+#: Environment variable that opts a whole process into deep profiling.
+PROFILE_ENV_VAR = "REPRO_PROFILE"
+
+#: Span attribute names written by :func:`profile` (the report
+#: normalizer strips these along with wall-clock durations).
+PROFILE_ATTRS = ("cpu_s", "profile_top")
+
+_DEEP_PROFILING = os.environ.get(PROFILE_ENV_VAR, "") not in ("", "0")
+_TOP_N = 10
+
+#: cProfile forbids two concurrently enabled profilers, so nested
+#: ``profile(...)`` blocks deep-profile only at the outermost level
+#: (inner phases still get ``cpu_s``).
+_PROFILER_ACTIVE = False
+
+
+def profiling_enabled() -> bool:
+    """Whether deep (cProfile) profiling is currently on."""
+    return _DEEP_PROFILING
+
+
+def set_profiling(enabled: bool, top_n: int = 10) -> None:
+    """Switch deep profiling on/off and set the hot-function cutoff.
+
+    Raises:
+        ValueError: on a non-positive ``top_n``.
+    """
+    global _DEEP_PROFILING, _TOP_N
+    if top_n < 1:
+        raise ValueError("top_n must be >= 1")
+    _DEEP_PROFILING = bool(enabled)
+    _TOP_N = int(top_n)
+
+
+def _hot_functions(profiler: cProfile.Profile, top_n: int) -> list[dict]:
+    """The ``top_n`` functions by cumulative time, as plain dicts."""
+    stats = pstats.Stats(profiler)
+    rows = sorted(
+        stats.stats.items(),  # type: ignore[attr-defined]
+        key=lambda item: item[1][3],  # cumulative time
+        reverse=True,
+    )
+    top = []
+    for (filename, lineno, func_name), row in rows[:top_n]:
+        call_count, _, total_time, cumulative_time, _ = row
+        top.append(
+            {
+                "function": f"{os.path.basename(filename)}:{lineno}"
+                f"({func_name})",
+                "calls": int(call_count),
+                "tottime_s": round(float(total_time), 6),
+                "cumtime_s": round(float(cumulative_time), 6),
+            }
+        )
+    return top
+
+
+@contextmanager
+def profile(name: str, **attributes: object):
+    """A :func:`repro.obs.trace` span that also records CPU time.
+
+    Yields the span; on exit the span carries ``cpu_s`` (process CPU
+    seconds consumed by the block) and, with deep profiling on,
+    ``profile_top`` (the cProfile top-N described above).
+    """
+    from . import get_tracer, is_enabled
+
+    tracer = get_tracer()
+    if not is_enabled():
+        with tracer.trace(name, **attributes) as span:
+            yield span
+        return
+    global _PROFILER_ACTIVE
+    profiler: cProfile.Profile | None = None
+    with tracer.trace(name, **attributes) as span:
+        cpu0 = time.process_time()
+        if _DEEP_PROFILING and not _PROFILER_ACTIVE:
+            profiler = cProfile.Profile()
+            _PROFILER_ACTIVE = True
+            profiler.enable()
+        try:
+            yield span
+        finally:
+            if profiler is not None:
+                profiler.disable()
+                _PROFILER_ACTIVE = False
+            span.set(cpu_s=round(time.process_time() - cpu0, 6))
+            if profiler is not None:
+                span.set(profile_top=_hot_functions(profiler, _TOP_N))

@@ -41,6 +41,14 @@ SUMMARY_HEADERS = (
     "Captures/node-hour",
 )
 
+#: Span attributes carrying timing data (stripped by ``normalized()``
+#: along with ``started_at``/``duration_s`` — everything a re-run of
+#: the same seed cannot reproduce bit-for-bit).
+TIMING_ATTRS = frozenset({"cpu_s", "profile_top"})
+
+#: Metadata keys that vary per invocation rather than per seed.
+TIMING_META = frozenset({"runid", "created_at"})
+
 
 @dataclass
 class RunReport:
@@ -114,6 +122,48 @@ class RunReport:
     def load(cls, path: str | Path) -> "RunReport":
         """Read a report previously written by :meth:`save`."""
         return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    def normalized(self) -> "RunReport":
+        """A deep copy with every nondeterministic timing stripped.
+
+        Wall-clock offsets/durations are zeroed, timing-valued span
+        attributes (``cpu_s``, ``profile_top``) are removed, and
+        ``*_seconds`` histograms are dropped from the metrics snapshot.
+        Two runs of the same seed then serialize to *identical* JSON,
+        so checked-in smoke artifacts stop churning on re-runs.
+        """
+
+        def scrub(span: Span) -> Span:
+            return Span(
+                name=span.name,
+                started_at=0.0,
+                duration_s=0.0,
+                attributes={
+                    key: value
+                    for key, value in span.attributes.items()
+                    if key not in TIMING_ATTRS
+                },
+                children=[scrub(child) for child in span.children],
+            )
+
+        metrics = {
+            kind: {
+                name: value
+                for name, value in entries.items()
+                if not name.endswith("_seconds")
+            }
+            for kind, entries in self.metrics.items()
+        }
+        meta = {
+            key: value
+            for key, value in self.meta.items()
+            if key not in TIMING_META
+        }
+        return RunReport(
+            meta=meta,
+            spans=[scrub(root) for root in self.spans],
+            metrics=metrics,
+        )
 
     # -- queries ----------------------------------------------------------
 

@@ -32,7 +32,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-from ..obs import get_registry
+from ..obs import get_event_stream, get_registry
 from . import behavior
 from .campaigns import SpammerTasteModel
 from .clock import SECONDS_PER_HOUR, SimClock
@@ -135,6 +135,7 @@ class TwitterEngine:
         self._m_spam_rate = registry.gauge("engine.spam_rate")
         self._m_hour_seconds = registry.histogram("engine.hour_seconds")
         self._m_hour_tweets = registry.histogram("engine.hour_tweets")
+        self._events = get_event_stream()
         self._follow_index = None
         if config.use_follow_graph:
             from .graph import FollowGraphIndex, build_follow_graph
@@ -241,6 +242,16 @@ class TwitterEngine:
         )
         self._m_hour_seconds.observe(elapsed)
         self._m_hour_tweets.observe(stats.total_tweets)
+        self._events.emit(
+            "engine.hour_completed",
+            hour=stats.hour,
+            tweets=stats.total_tweets,
+            organic_posts=stats.organic_posts,
+            organic_replies=stats.organic_replies,
+            spam_mentions=stats.spam_mentions,
+            suspensions=stats.suspensions,
+            wall_s=round(elapsed, 6),
+        )
         log.debug(
             "hour %d: %d tweets (%d posts, %d replies, %d spam), "
             "%d suspensions, %.3fs",

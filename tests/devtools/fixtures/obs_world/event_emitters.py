@@ -1,0 +1,15 @@
+"""Known-bad event-stream fixture: emitted event names off the
+taxonomy (bad namespace, bad charset, dynamic prefix) alongside
+well-formed emits through both the module helper and a stream."""
+
+from repro.obs import emit, get_event_stream
+
+
+def announce(hour, stage):
+    events = get_event_stream()
+    emit("hour.completed", hour=hour)  # line 10: RPL206 bad namespace
+    events.emit("engine.HourDone", hour=hour)  # line 11: RPL206 charset
+    emit(f"{stage}.delta", hour=hour)  # line 12: RPL206 dynamic prefix
+    emit("engine.hour_completed", hour=hour)  # ok
+    events.emit(f"label.{stage}.delta", hour=hour)  # ok: literal prefix
+    events.emit("ml.cv_fold", fold=0)  # ok

@@ -1,4 +1,4 @@
-"""RPL201-RPL205: observability-contract rules against fixtures."""
+"""RPL201-RPL206: observability-contract rules against fixtures."""
 
 from __future__ import annotations
 
@@ -7,6 +7,7 @@ from repro.devtools.lint import TAXONOMY_RE, run_lint
 from tests.devtools.conftest import FIXTURES, rule_lines
 
 OBS = FIXTURES / "obs_world" / "monitor_stats.py"
+EVENTS = FIXTURES / "obs_world" / "event_emitters.py"
 WRITER = FIXTURES / "repro" / "report_writer.py"
 CLEAN = FIXTURES / "repro" / "clean_library.py"
 
@@ -65,6 +66,29 @@ class TestExperimentSpanCoverage:
         ]
         assert not any("covered" in m for m in messages)
         assert not any("_internal" in m for m in messages)
+
+
+class TestEventNameTaxonomy:
+    def test_off_taxonomy_emits_flagged_with_lines(self):
+        findings = lint(EVENTS)
+        assert rule_lines(findings, "RPL206", "event_emitters.py") == [
+            10,
+            11,
+            12,
+        ]
+
+    def test_messages_name_the_event_kind(self):
+        flagged = [f for f in lint(EVENTS) if f.rule == "RPL206"]
+        assert all(f.message.startswith("event") for f in flagged)
+        assert "hour.completed" in flagged[0].message
+
+    def test_well_formed_emits_pass(self):
+        findings = [f for f in lint(EVENTS) if f.rule == "RPL206"]
+        assert all(f.line in (10, 11, 12) for f in findings)
+
+    def test_emit_rule_does_not_double_report_spans(self):
+        # The span fixture has no emit() calls: RPL206 stays silent.
+        assert [f for f in lint(OBS) if f.rule == "RPL206"] == []
 
 
 class TestArtifactWrites:

@@ -128,6 +128,48 @@ class TestReportReconciliation:
         ).to_dict()
 
 
+class TestEventStream:
+    """The live stream reconciles with the post-hoc report."""
+
+    def test_hour_events_match_engine_clock(self, instrumented):
+        exp, *_rest, _report = instrumented
+        hours = obs.get_event_stream().events("engine.hour_completed")
+        assert len(hours) == exp.engine.clock.hour
+        assert [e.seq for e in hours] == sorted(
+            e.seq for e in hours
+        )
+
+    def test_capture_events_match_capture_counter(self, instrumented):
+        *_rest, report = instrumented
+        captures = obs.get_event_stream().events("network.capture")
+        assert (
+            len(captures)
+            == report.metrics["counters"]["network.captures"]
+        )
+
+    def test_label_stage_events_cover_the_pipeline(self, instrumented):
+        _, _run, dataset, *_rest = instrumented
+        stages = obs.get_event_stream().events("label.stage")
+        assert [e.attributes["stage"] for e in stages] == [
+            "suspended",
+            "clustering",
+            "rule_based",
+            "manual",
+        ]
+        assert (
+            stages[-1].attributes["total_spams"] == dataset.n_spams
+        )
+
+    def test_network_lifecycle_events(self, instrumented):
+        stream = obs.get_event_stream()
+        (deploy,) = stream.events("network.deploy")
+        assert deploy.attributes["nodes_selected"] > 0
+        assert 0 < deploy.attributes["fill_rate"] <= 1.0
+        (shutdown,) = stream.events("network.shutdown")
+        assert shutdown.attributes["hours"] == 4
+        assert stream.events("network.switch"), "no portability switch"
+
+
 class TestDisabledMode:
     def test_disabled_run_records_nothing_and_changes_nothing(self):
         obs.reset()
@@ -143,6 +185,8 @@ class TestDisabledMode:
             assert report.spans == []
             counters = report.metrics["counters"]
             assert all(value == 0 for value in counters.values())
+            assert len(obs.get_event_stream()) == 0
+            assert obs.get_event_stream().total_emitted == 0
         finally:
             obs.set_enabled(True)
             obs.reset()

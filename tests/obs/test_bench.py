@@ -1,0 +1,211 @@
+"""BENCH artifacts: capture, (de)serialization, and the diff gate."""
+
+import importlib.util
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.obs import RunReport, profile
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    MIN_COMPARABLE_SECONDS,
+    BenchResult,
+    diff_benchmarks,
+    find_previous,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    obs.set_enabled(True)
+    yield
+    obs.reset()
+
+
+def synthetic_report() -> RunReport:
+    """A report with a couple of experiment phases of real duration."""
+    with profile("experiment.fake_collect", hours=2):
+        with profile("experiment.fake_plan"):
+            sum(i * i for i in range(5_000))
+    with profile("experiment.fake_classify"):
+        pass
+    return RunReport.capture()
+
+
+def result_with(phases: dict[str, float], runid: str) -> BenchResult:
+    return BenchResult(
+        meta={"runid": runid},
+        phases={
+            name: {"wall_s": wall, "cpu_s": wall, "calls": 1}
+            for name, wall in phases.items()
+        },
+        totals={"wall_s": sum(phases.values()), "cpu_s": 0.0},
+    )
+
+
+class TestCapture:
+    def test_phases_reconcile_with_the_span_tree(self):
+        report = synthetic_report()
+        result = BenchResult.capture(report, "r1", scale="unit")
+        assert set(result.phases) == {
+            "experiment.fake_collect",
+            "experiment.fake_plan",
+            "experiment.fake_classify",
+        }
+        (collect,) = report.find("experiment.fake_collect")
+        assert result.phases["experiment.fake_collect"][
+            "wall_s"
+        ] == pytest.approx(collect.duration_s, abs=1e-6)
+        assert result.phases["experiment.fake_collect"]["cpu_s"] >= 0
+        # Totals sum root spans only: nested fake_plan is inside
+        # fake_collect and must not double-count.
+        roots = sum(span.duration_s for span in report.spans)
+        assert result.totals["wall_s"] == pytest.approx(
+            roots, abs=1e-6
+        )
+        assert result.meta == {"runid": "r1", "scale": "unit"}
+
+    def test_capture_requires_experiment_spans(self):
+        with profile("network.deploy"):
+            pass
+        with pytest.raises(ValueError):
+            BenchResult.capture(RunReport.capture(), "r1")
+
+
+class TestSerialization:
+    def test_save_load_round_trip(self, tmp_path):
+        original = BenchResult.capture(synthetic_report(), "r1")
+        path = original.save(tmp_path)
+        assert path.name == "BENCH_r1.json"
+        loaded = BenchResult.load(path)
+        assert loaded.to_dict() == original.to_dict()
+        assert json.loads(path.read_text())["schema"] == BENCH_SCHEMA
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError):
+            BenchResult.from_dict({"schema": "repro-bench/999"})
+
+    def test_save_without_runid_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            BenchResult().save(tmp_path)
+
+    def test_find_previous_is_newest_excluding_current(self, tmp_path):
+        assert find_previous(tmp_path) is None
+        for runid in ("20260801T0", "20260803T0", "20260802T0"):
+            result_with({"experiment.x": 1.0}, runid).save(tmp_path)
+        assert find_previous(tmp_path).name == "BENCH_20260803T0.json"
+        assert (
+            find_previous(tmp_path, exclude_runid="20260803T0").name
+            == "BENCH_20260802T0.json"
+        )
+
+
+class TestDiffGate:
+    def test_synthetic_slow_run_is_a_regression(self):
+        previous = result_with({"experiment.collect": 1.0}, "a")
+        current = result_with({"experiment.collect": 2.0}, "b")
+        diff = diff_benchmarks(previous, current, threshold=0.35)
+        assert not diff.ok
+        # Both the phase and the <total> row doubled.
+        assert [d.phase for d in diff.regressions] == [
+            "experiment.collect",
+            "<total>",
+        ]
+        assert diff.regressions[0].ratio == pytest.approx(2.0)
+        assert "<< REGRESSION" in diff.render()
+
+    def test_within_threshold_passes(self):
+        previous = result_with({"experiment.collect": 1.0}, "a")
+        current = result_with({"experiment.collect": 1.2}, "b")
+        assert diff_benchmarks(previous, current, threshold=0.35).ok
+
+    def test_sub_noise_phases_are_not_gated(self):
+        wall = MIN_COMPARABLE_SECONDS / 2
+        previous = result_with({"experiment.collect": wall}, "a")
+        current = result_with({"experiment.collect": wall * 10}, "b")
+        assert diff_benchmarks(previous, current).ok
+
+    def test_total_row_and_disjoint_phases(self):
+        previous = result_with(
+            {"experiment.old": 1.0, "experiment.shared": 1.0}, "a"
+        )
+        current = result_with(
+            {"experiment.new": 1.0, "experiment.shared": 1.0}, "b"
+        )
+        diff = diff_benchmarks(previous, current)
+        assert [d.phase for d in diff.deltas] == [
+            "experiment.shared",
+            "<total>",
+        ]
+
+    def test_negative_threshold_rejected(self):
+        previous = result_with({"experiment.x": 1.0}, "a")
+        with pytest.raises(ValueError):
+            diff_benchmarks(previous, previous, threshold=-0.1)
+
+
+class TestBenchCli:
+    """scripts/bench.py end-to-end with a stubbed-out workload."""
+
+    @staticmethod
+    def load_cli():
+        spec = importlib.util.spec_from_file_location(
+            "bench_cli_under_test", REPO_ROOT / "scripts" / "bench.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    @staticmethod
+    def fake_workload(delay_s: float):
+        def run(scale_name="tiny", seed=7, **meta):
+            obs.reset()
+            obs.set_enabled(True)
+            with profile("experiment.fake_phase"):
+                time.sleep(delay_s)
+            return RunReport.capture()
+
+        return run
+
+    def test_gate_trips_on_a_slow_run(self, tmp_path, monkeypatch):
+        cli = self.load_cli()
+        # Baseline claims the phase used to take 50ms; the stubbed
+        # current run sleeps 150ms -> x3 slowdown -> non-zero exit.
+        result_with({"experiment.fake_phase": 0.05}, "run_a").save(
+            tmp_path
+        )
+        monkeypatch.setattr(
+            cli, "run_bench_workload", self.fake_workload(0.15)
+        )
+        rc = cli.main(
+            [
+                "--scale",
+                "micro",
+                "--out-dir",
+                str(tmp_path),
+                "--runid",
+                "run_b",
+            ]
+        )
+        assert rc == 1
+        assert (tmp_path / "BENCH_run_b.json").exists()
+
+    def test_first_run_has_no_gate(self, tmp_path, monkeypatch):
+        cli = self.load_cli()
+        monkeypatch.setattr(
+            cli, "run_bench_workload", self.fake_workload(0.0)
+        )
+        rc = cli.main(
+            ["--out-dir", str(tmp_path), "--runid", "run_a"]
+        )
+        assert rc == 0
+        payload = json.loads(
+            (tmp_path / "BENCH_run_a.json").read_text()
+        )
+        assert payload["schema"] == BENCH_SCHEMA

@@ -1,0 +1,107 @@
+"""LiveMonitor: event-stream tailing and line rendering."""
+
+import io
+
+import pytest
+
+from repro import obs
+from repro.obs import LiveMonitor
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    obs.set_enabled(True)
+    yield
+    obs.reset()
+
+
+def render_lines(out: io.StringIO) -> list[str]:
+    return [line for line in out.getvalue().splitlines() if line]
+
+
+class TestRendering:
+    def test_hour_line_summarizes_captures_per_node_hour(self):
+        out = io.StringIO()
+        with LiveMonitor(out=out):
+            obs.emit(
+                "network.deploy",
+                nodes_requested=40,
+                nodes_selected=40,
+                fill_rate=1.0,
+            )
+            for __ in range(8):
+                obs.emit("network.capture", hour=3, category="spam")
+            obs.emit(
+                "engine.hour_completed",
+                hour=3,
+                tweets=200,
+                spam_mentions=24,
+            )
+        deploy, hour = render_lines(out)
+        assert "nodes 40/40" in deploy
+        assert "fill 1.00" in deploy
+        assert "hour    3" in hour
+        assert "spam 12.0%" in hour
+        assert "+8" in hour
+        assert "0.200/node-hr" in hour
+
+    def test_switch_label_and_cv_lines(self):
+        out = io.StringIO()
+        with LiveMonitor(out=out) as monitor:
+            obs.emit(
+                "network.switch",
+                nodes_requested=40,
+                nodes_selected=38,
+                fill_rate=0.95,
+                node_churn=31,
+            )
+            obs.emit(
+                "label.stage",
+                stage="suspended",
+                new_spams=102,
+                new_spammers=21,
+            )
+            obs.emit(
+                "ml.cv_fold", fold=3, accuracy=0.957, seconds=1.24
+            )
+            obs.emit("experiment.unrendered_event")
+        switch, label, fold = render_lines(out)
+        assert "fill 0.95" in switch and "churn 31" in switch
+        assert "+102 spams" in label and "+21 spammers" in label
+        assert "cv fold  3" in fold and "accuracy 0.957" in fold
+        assert monitor.lines_rendered == 3
+
+    def test_show_captures_renders_each_capture(self):
+        out = io.StringIO()
+        with LiveMonitor(out=out, show_captures=True):
+            obs.emit("network.capture", hour=1, category="spam")
+        (line,) = render_lines(out)
+        assert "capture" in line and "spam" in line
+
+
+class TestWiring:
+    def test_detach_stops_rendering(self):
+        out = io.StringIO()
+        monitor = LiveMonitor(out=out)
+        monitor.attach()
+        monitor.attach()  # idempotent
+        obs.emit("network.switch", nodes_selected=1)
+        monitor.detach()
+        monitor.detach()  # idempotent
+        obs.emit("network.switch", nodes_selected=2)
+        assert monitor.lines_rendered == 1
+
+    def test_experiment_live_returns_a_monitor(self):
+        from repro.core import PseudoHoneypotExperiment
+        from repro.twittersim import SimulationConfig
+
+        experiment = PseudoHoneypotExperiment(
+            SimulationConfig.small(seed=1), candidate_pool=50
+        )
+        out = io.StringIO()
+        monitor = experiment.live(out=out)
+        assert isinstance(monitor, LiveMonitor)
+        with monitor:
+            obs.emit("network.switch", nodes_selected=5)
+        assert monitor.lines_rendered == 1

@@ -58,6 +58,27 @@ class TestHistogram:
         with pytest.raises(ValueError):
             registry.histogram("h").percentile(101)
 
+    def test_empty_percentiles_defined_across_the_range(self, registry):
+        hist = registry.histogram("h")
+        for q in (0, 50, 95, 100):
+            assert hist.percentile(q) == 0.0
+        assert hist.summary()["p50"] == 0.0
+
+    def test_single_sample_answers_every_percentile(self, registry):
+        hist = registry.histogram("h")
+        hist.observe(3.5)
+        for q in (0, 50, 95, 100):
+            assert hist.percentile(q) == 3.5
+        assert hist.p50 == 3.5
+        assert hist.p95 == 3.5
+
+    def test_percentile_extremes_are_min_and_max(self, registry):
+        hist = registry.histogram("h")
+        for value in (5, 1, 9):
+            hist.observe(value)
+        assert hist.percentile(0) == 1
+        assert hist.percentile(100) == 9
+
     def test_percentile_interleaved_with_observations(self, registry):
         hist = registry.histogram("h")
         hist.observe(3)

@@ -112,3 +112,42 @@ class TestSummary:
         lines = text.splitlines()
         assert all(h in lines[0] for h in SUMMARY_HEADERS)
         assert "experiment.run_plan" in lines[2]
+
+
+class TestNormalized:
+    def test_normalized_json_is_stable_across_reruns(self):
+        def one_run() -> str:
+            registry = MetricsRegistry(enabled=True)
+            tracer = Tracer(registry)
+            registry.counter("network.captures").inc(7)
+            registry.histogram("engine.hour_seconds").observe(0.25)
+            with tracer.trace("experiment.run_plan") as span:
+                sum(i * i for i in range(2_000))
+                span.set(captures=7, cpu_s=0.123)
+            report = RunReport.capture(
+                registry=registry,
+                tracer=tracer,
+                scale="test",
+                runid="varies-per-run",
+            )
+            return report.normalized().to_json()
+
+        assert one_run() == one_run()
+
+    def test_normalized_strips_timings_keeps_counts(self):
+        report = make_report()
+        report.meta["created_at"] = "2026-08-06T12:00:00Z"
+        normalized = report.normalized()
+        (span,) = normalized.find("experiment.run_plan")
+        assert span.started_at == 0.0
+        assert span.duration_s == 0.0
+        assert span.attributes["captures"] == 7
+        assert span.children[0].duration_s == 0.0
+        assert "engine.hour_seconds" not in normalized.metrics[
+            "histograms"
+        ]
+        assert normalized.metrics["counters"]["network.captures"] == 7
+        assert normalized.meta == {"scale": "test"}
+        # The original is untouched (deep copy).
+        assert report.meta["created_at"]
+        assert "engine.hour_seconds" in report.metrics["histograms"]
