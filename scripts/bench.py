@@ -50,6 +50,16 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
     )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=int(os.environ.get("REPRO_WORKERS", "0") or "0"),
+        help=(
+            "process-pool size for CPU-bound phases (env "
+            "REPRO_WORKERS; 0 = sequential, -1 = all cores); "
+            "recorded in the BENCH artifact"
+        ),
+    )
+    parser.add_argument(
         "--threshold",
         type=float,
         default=float(
@@ -99,13 +109,19 @@ def main(argv: list[str] | None = None) -> int:
     if monitor is not None:
         monitor.attach()
     try:
-        report = run_bench_workload(args.scale, seed=args.seed)
+        report = run_bench_workload(
+            args.scale, seed=args.seed, workers=args.workers
+        )
     finally:
         if monitor is not None:
             monitor.detach()
 
     current = BenchResult.capture(
-        report, runid, scale=args.scale, seed=args.seed
+        report,
+        runid,
+        scale=args.scale,
+        seed=args.seed,
+        workers=args.workers,
     )
     previous_path = find_previous(args.out_dir, exclude_runid=runid)
     path = current.save(args.out_dir)

@@ -28,6 +28,12 @@ PYTHONPATH=src python -m repro.devtools.lint \
 if [[ "$fast" == "0" ]]; then
     echo "== tier-1 pytest =="
     PYTHONPATH=src python -m pytest -x -q
+
+    echo "== tier-1 smoke subset under REPRO_WORKERS=2 =="
+    # The parallel layer must not change any result: rerun the suites
+    # covering the pool-backed hot paths with a 2-worker default.
+    REPRO_WORKERS=2 PYTHONPATH=src python -m pytest -q \
+        tests/parallel tests/ml tests/labeling
 fi
 
 echo "== all checks passed =="

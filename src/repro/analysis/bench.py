@@ -65,7 +65,10 @@ WORKLOAD_NAMES = ("micro", "tiny", "small")
 
 
 def run_bench_workload(
-    scale_name: str = "tiny", seed: int = 7, **meta: object
+    scale_name: str = "tiny",
+    seed: int = 7,
+    workers: int | None = None,
+    **meta: object,
 ) -> RunReport:
     """Run one canonical workload fully instrumented.
 
@@ -73,6 +76,12 @@ def run_bench_workload(
     the paper's phase sequence at the preset scale, and returns the
     resulting report (phase tree + metrics).  The caller owns artifact
     writing — nothing is saved here.
+
+    Args:
+        workers: process-pool size for the CPU-bound phases; 0 forces
+            sequential and ``None`` defers to ``REPRO_WORKERS``.
+            Phase outputs (captures, labels, verdicts) are identical
+            at every worker count — only the timings move.
 
     Raises:
         KeyError: unknown workload name.
@@ -82,7 +91,7 @@ def run_bench_workload(
     set_enabled(True)
     log.info("bench workload %s (seed %d) starting", scale.name, seed)
     experiment = PseudoHoneypotExperiment(
-        scale.sim, candidate_pool=scale.candidate_pool
+        scale.sim, candidate_pool=scale.candidate_pool, workers=workers
     )
     experiment.warm_up(scale.warmup_hours)
     collection = experiment.collect_ground_truth(

@@ -19,6 +19,7 @@ Every run is reproducible from the experiment seed.
 from __future__ import annotations
 
 import logging
+from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -26,6 +27,7 @@ from ..labeling.manual import ManualChecker
 from ..labeling.pipeline import GroundTruthLabeler, LabeledDataset
 from ..ml.base import Classifier
 from ..obs import LiveMonitor, RunReport, profile
+from ..parallel import executor
 from ..twittersim.api.rest import RestClient
 from ..twittersim.config import SimulationConfig
 from ..twittersim.engine import TwitterEngine
@@ -60,6 +62,11 @@ class PseudoHoneypotExperiment:
         config: world configuration (population, rates, seeds).
         manual_error_rate: human-oracle flip probability for labeling.
         candidate_pool: selector candidate sample per hour.
+        workers: process-pool size for the CPU-bound phases (labeling
+            clustering and detector training); ``None`` defers to the
+            ambient :func:`repro.parallel.resolve_workers` rule and 0
+            forces sequential.  Outputs are identical at every worker
+            count.
     """
 
     def __init__(
@@ -67,6 +74,7 @@ class PseudoHoneypotExperiment:
         config: SimulationConfig | None = None,
         manual_error_rate: float = 0.02,
         candidate_pool: int = 6_000,
+        workers: int | None = None,
     ) -> None:
         self.config = config or SimulationConfig.medium()
         self.population = build_population(self.config)
@@ -78,6 +86,19 @@ class PseudoHoneypotExperiment:
         self.activity = ActivityPolicy(window_hours=6.0)
         self.candidate_pool = candidate_pool
         self.manual_error_rate = manual_error_rate
+        self.workers = workers
+
+    def _parallel_scope(self):
+        """An ``executor`` scope for this experiment's worker setting.
+
+        With ``workers=None`` the ambient rule (active executor, then
+        ``REPRO_WORKERS``) already governs every ``parallel_map``
+        below, so no scope is opened; an explicit setting pins one
+        shared pool for the phase.
+        """
+        if self.workers is None:
+            return nullcontext()
+        return executor(self.workers)
 
     # ------------------------------------------------------------------
 
@@ -173,9 +194,10 @@ class PseudoHoneypotExperiment:
             minhash_seed=self.config.seed,
         )
         with profile("experiment.label_ground_truth") as span:
-            dataset = labeler.label(
-                [capture.tweet for capture in run.captures]
-            )
+            with self._parallel_scope():
+                dataset = labeler.label(
+                    [capture.tweet for capture in run.captures]
+                )
             span.set(
                 n_tweets=dataset.n_tweets,
                 n_spams=dataset.n_spams,
@@ -198,7 +220,8 @@ class PseudoHoneypotExperiment:
         )
         detector = PseudoHoneypotDetector(classifier=classifier)
         with profile("experiment.train_detector") as span:
-            detector.fit_from_ground_truth(run.captures, dataset)
+            with self._parallel_scope():
+                detector.fit_from_ground_truth(run.captures, dataset)
             span.set(
                 n_training_tweets=dataset.n_tweets,
                 n_training_spams=dataset.n_spams,

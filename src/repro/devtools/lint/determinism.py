@@ -1,4 +1,4 @@
-"""Determinism rules (RPL001-RPL004).
+"""Determinism rules (RPL001-RPL005).
 
 The headline numbers (Table III deltas, the 9.37x PGE advantage, the
 RF cross-validation scores) are only claims if a rerun reproduces them
@@ -222,3 +222,31 @@ class ThreadedSeedRule(FileRule):
                 "default_rng(...) seed is not threaded from a "
                 "seed/rng parameter or attribute",
             )
+
+
+class NoBuiltinHashRule(FileRule):
+    """RPL005: builtin ``hash()`` is banned in pipeline code."""
+
+    id = "RPL005"
+    name = "no-builtin-hash"
+    category = "determinism"
+    description = (
+        "Builtin hash() is salted per process (PYTHONHASHSEED): the "
+        "same string hashes differently across runs and across pool "
+        "workers, so any signature, bucket, or grouping derived from "
+        "it silently diverges between a sequential run and a "
+        "parallel one."
+    )
+    fix_hint = (
+        "Use repro.labeling.minhash.stable_hash64 (blake2b-derived, "
+        "process-stable) or another explicitly seeded hash."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_deterministic_scope()
+
+    def visit_Call(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterable[Finding]:
+        if call_name(ctx, node) == "hash":
+            yield self.finding(ctx, node, "builtin `hash()` call")

@@ -22,6 +22,7 @@ from .base import (
     build_import_maps,
 )
 from .determinism import (
+    NoBuiltinHashRule,
     NoStdlibRandomRule,
     NoWallClockRule,
     SeededRngRule,
@@ -49,6 +50,7 @@ ALL_RULES: tuple[Rule, ...] = (
     NoWallClockRule(),
     SeededRngRule(),
     ThreadedSeedRule(),
+    NoBuiltinHashRule(),
     SchemaShapeRule(),
     KnownFeatureNameRule(),
     SpanLabelRule(),

@@ -27,7 +27,14 @@ from .base import (
 from .findings import Finding
 
 #: The DESIGN.md dotted taxonomy: one namespace per pipeline layer.
-NAMESPACES = ("engine", "network", "label", "ml", "experiment")
+NAMESPACES = (
+    "engine",
+    "network",
+    "label",
+    "ml",
+    "experiment",
+    "parallel",
+)
 TAXONOMY_RE = re.compile(
     r"^(?:%s)\.[a-z0-9_]+(?:\.[a-z0-9_]+)*$" % "|".join(NAMESPACES)
 )

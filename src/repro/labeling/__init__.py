@@ -1,8 +1,8 @@
 """Ground-truth labeling: suspension, clustering, rules, manual oracle."""
 
-from .dhash import dhash, group_by_dhash, hamming_distance
+from .dhash import dhash, dhash_many, group_by_dhash, hamming_distance
 from .manual import ManualChecker
-from .minhash import MinHasher, group_by_signature
+from .minhash import MinHasher, group_by_signature, stable_hash64
 from .neardup import group_near_duplicates
 from .pipeline import (
     METHODS,
@@ -31,6 +31,7 @@ __all__ = [
     "SPAM_RULES",
     "StreamContext",
     "dhash",
+    "dhash_many",
     "find_suspended",
     "group_by_dhash",
     "group_by_pattern",
@@ -42,5 +43,6 @@ __all__ = [
     "matching_rules",
     "pattern_key",
     "sigma_sequence",
+    "stable_hash64",
     "symbol_affiliation_spam",
 ]

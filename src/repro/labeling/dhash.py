@@ -19,6 +19,8 @@ from collections import defaultdict
 
 import numpy as np
 
+from ..parallel import parallel_map
+
 #: Paper's grouping threshold on Hamming distance.
 DEFAULT_THRESHOLD = 5
 
@@ -61,6 +63,20 @@ def dhash(image: np.ndarray) -> int:
     for bit in bits:
         value = (value << 1) | int(bit)
     return value
+
+
+def dhash_many(
+    images: list[np.ndarray], workers: int | None = None
+) -> list[int]:
+    """dHash of every image, in order.
+
+    The per-image 9x9 block reduction is a pure Python double loop —
+    the labeling pipeline's dominant per-avatar cost — so it fans out
+    over ``workers`` pool processes (0 = sequential; ``None`` defers
+    to the ambient :func:`repro.parallel.resolve_workers` rule).
+    Results are positionally identical at every worker count.
+    """
+    return parallel_map(dhash, images, workers=workers, label="dhash")
 
 
 def hamming_distance(hash_a: int, hash_b: int) -> int:

@@ -6,17 +6,35 @@ hashed by k universal hash functions; the signature is the vector of
 per-function minima.  Following the paper, two texts are considered
 identical when their signatures agree, so grouping is a dictionary
 bucket on the signature tuple.
+
+Shingles are hashed with :func:`stable_hash64`, not builtin
+``hash()``: the builtin is salted per process (``PYTHONHASHSEED``),
+so its signatures would disagree across pool workers and across
+reruns — exactly the nondeterminism lint rule RPL005 bans.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+from hashlib import blake2b
 
 import numpy as np
 
 from ..features.textstats import strip_for_shingling
+from ..parallel import parallel_map
 
 _MERSENNE_PRIME = (1 << 61) - 1
+
+
+def stable_hash64(text: str) -> int:
+    """Process-stable 63-bit hash of a text (blake2b-derived).
+
+    Identical across interpreter runs, ``PYTHONHASHSEED`` values, and
+    pool workers — the property builtin ``hash()`` deliberately lacks.
+    The top bit is masked off so values fit ``np.int64``.
+    """
+    digest = blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") & 0x7FFFFFFFFFFFFFFF
 
 
 class MinHasher:
@@ -46,16 +64,16 @@ class MinHasher:
         normalized = strip_for_shingling(text)
         k = self.shingle_size
         if len(normalized) < k:
-            return {hash(normalized) & 0x7FFFFFFFFFFFFFFF}
+            return {stable_hash64(normalized)}
         return {
-            hash(normalized[i : i + k]) & 0x7FFFFFFFFFFFFFFF
+            stable_hash64(normalized[i : i + k])
             for i in range(len(normalized) - k + 1)
         }
 
     def signature(self, text: str) -> tuple[int, ...]:
         """MinHash signature of a text."""
         shingles = np.fromiter(
-            self.shingles(text), dtype=np.int64
+            sorted(self.shingles(text)), dtype=np.int64
         )
         # (k, s) universal hashes; min over shingles per function.
         hashed = (
@@ -72,20 +90,37 @@ class MinHasher:
 
 
 def group_by_signature(
-    texts: list[str], hasher: MinHasher | None = None
+    texts: list[str],
+    hasher: MinHasher | None = None,
+    workers: int | None = None,
 ) -> list[list[int]]:
     """Group indices of texts with identical MinHash signatures.
 
     Empty (post-normalization) texts are never grouped: a blank bio is
     not evidence of affiliation.
 
+    Signature computation — the O(text length x k) hot loop — fans out
+    over ``workers`` pool processes (0 = sequential; ``None`` defers
+    to the ambient :func:`repro.parallel.resolve_workers` rule).
+    Bucketing stays in the parent and walks indices in input order, so
+    groups are identical at every worker count.
+
     Returns:
         Groups of indices, each of size >= 2.
     """
     hasher = hasher or MinHasher()
+    eligible = [
+        (idx, text)
+        for idx, text in enumerate(texts)
+        if strip_for_shingling(text)
+    ]
+    signatures = parallel_map(
+        hasher.signature,
+        [text for __, text in eligible],
+        workers=workers,
+        label="minhash",
+    )
     buckets: dict[tuple[int, ...], list[int]] = defaultdict(list)
-    for idx, text in enumerate(texts):
-        if not strip_for_shingling(text):
-            continue
-        buckets[hasher.signature(text)].append(idx)
+    for (idx, __), signature in zip(eligible, signatures):
+        buckets[signature].append(idx)
     return [members for members in buckets.values() if len(members) >= 2]

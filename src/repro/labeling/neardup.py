@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import defaultdict
 
 from ..features.content import normalize_text_for_dedup
+from ..parallel import parallel_map
 from ..twittersim.clock import SECONDS_PER_DAY
 from ..twittersim.entities import Tweet
 from .minhash import MinHasher
@@ -23,15 +24,24 @@ def group_near_duplicates(
     tweets: list[Tweet],
     hasher: MinHasher | None = None,
     window_s: float = SECONDS_PER_DAY,
+    workers: int | None = None,
 ) -> list[list[int]]:
     """Group indices of near-duplicate tweets per 1-day window.
+
+    Normalization and windowing run in the parent (cheap, and the
+    ``Tweet`` objects stay out of the pickle stream); the MinHash
+    signatures — the hot loop — fan out over ``workers`` pool
+    processes (0 = sequential; ``None`` defers to the ambient
+    :func:`repro.parallel.resolve_workers` rule).  Bucketing walks
+    indices in input order, so groups are identical at every worker
+    count.
 
     Returns:
         Groups of indices into ``tweets``, each of size >= 2; a group
         never spans two windows.
     """
     hasher = hasher or MinHasher()
-    buckets: dict[tuple[int, tuple[int, ...]], list[int]] = defaultdict(list)
+    eligible: list[tuple[int, int, str]] = []
     for idx, tweet in enumerate(tweets):
         if len(tweet.text) < MIN_CONTENT_LENGTH:
             continue
@@ -39,5 +49,14 @@ def group_near_duplicates(
         if len(normalized) < 3:
             continue
         window = int(tweet.created_at // window_s)
-        buckets[(window, hasher.signature(normalized))].append(idx)
+        eligible.append((idx, window, normalized))
+    signatures = parallel_map(
+        hasher.signature,
+        [normalized for __, __, normalized in eligible],
+        workers=workers,
+        label="neardup",
+    )
+    buckets: dict[tuple[int, tuple[int, ...]], list[int]] = defaultdict(list)
+    for (idx, window, __), signature in zip(eligible, signatures):
+        buckets[(window, signature)].append(idx)
     return [members for members in buckets.values() if len(members) >= 2]

@@ -31,7 +31,7 @@ from ..obs import get_event_stream, get_registry, trace
 from ..twittersim.api.rest import RestClient
 from ..twittersim.entities import Tweet
 from ..twittersim.images import DEFAULT_IMAGE_ID
-from .dhash import dhash, group_by_dhash
+from .dhash import dhash_many, group_by_dhash
 from .manual import ManualChecker
 from .minhash import MinHasher, group_by_signature
 from .neardup import group_near_duplicates
@@ -120,6 +120,11 @@ class GroundTruthLabeler:
             human pass samples (auditing all 100% is the paper's
             two-week effort; sampling models a bounded budget).
         minhash_seed: seed for the MinHash hash family.
+        workers: process-pool size for the clustering stages (dHash,
+            description MinHash, near-duplicate windows); 0 forces
+            sequential, ``None`` defers to the ambient
+            :func:`repro.parallel.resolve_workers` rule.  Groups are
+            identical at every worker count.
     """
 
     def __init__(
@@ -132,6 +137,7 @@ class GroundTruthLabeler:
         enable_clustering: bool = True,
         enable_rules: bool = True,
         enable_manual: bool = True,
+        workers: int | None = None,
     ) -> None:
         if not 0 <= unlabeled_audit_rate <= 1:
             raise ValueError("unlabeled_audit_rate must be in [0, 1]")
@@ -139,6 +145,7 @@ class GroundTruthLabeler:
         self.checker = checker
         self.unlabeled_audit_rate = unlabeled_audit_rate
         self.hasher = MinHasher(seed=minhash_seed)
+        self.workers = workers
         # Stage toggles for ablation studies: each disables exactly one
         # labeling method, leaving the rest of the pipeline intact.
         self.enable_suspended = enable_suspended
@@ -222,7 +229,7 @@ class GroundTruthLabeler:
                 user_groups = self._user_groups(unique_users, profile_of)
                 with trace("label.neardup") as ndspan:
                     tweet_groups = group_near_duplicates(
-                        tweets, self.hasher
+                        tweets, self.hasher, workers=self.workers
                     )
                     ndspan.set(groups=len(tweet_groups))
                 self._propagate(
@@ -285,12 +292,16 @@ class GroundTruthLabeler:
                 for uid in unique_users
                 if profile_of[uid].profile_image_id != DEFAULT_IMAGE_ID
             ]
-            hashes = []
-            for uid in image_users:
-                image = self.rest.get_profile_image(
+            # Avatars are fetched in the parent (the REST client wraps
+            # the live engine, which must not cross a process fork);
+            # only the pure hash computation fans out.
+            images = [
+                self.rest.get_profile_image(
                     profile_of[uid].profile_image_id
                 )
-                hashes.append(dhash(image))
+                for uid in image_users
+            ]
+            hashes = dhash_many(images, workers=self.workers)
             for group in group_by_dhash(hashes):
                 groups.append([image_users[i] for i in group])
             span.set(hashed=len(image_users), groups=len(groups))
@@ -308,6 +319,7 @@ class GroundTruthLabeler:
             for group in group_by_signature(
                 [profile_of[uid].description for uid in unique_users],
                 self.hasher,
+                workers=self.workers,
             ):
                 groups.append([unique_users[i] for i in group])
             span.set(groups=len(groups) - n_before)

@@ -11,8 +11,58 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..parallel import parallel_map, resolve_workers
 from .base import check_X, check_X_y, require_fitted
 from .tree import _FlatTree, _HistogramBuilder, quantile_bin
+
+
+class _TreeFitter:
+    """Picklable per-tree fit task: tree index ``b`` -> built tree.
+
+    Holds the shared binning and parameters once; ``parallel_map``
+    ships one copy per chunk to pool workers.  Because tree ``b``
+    derives its Generator from ``seed + b`` alone, the built tree is
+    independent of which process (or order) runs it — the property
+    that makes the parallel forest bit-identical to the sequential
+    one.
+    """
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        edges: list[np.ndarray],
+        y: np.ndarray,
+        max_depth: int,
+        min_samples_split: int,
+        min_samples_leaf: int,
+        max_features: int | None,
+        seed: int,
+    ) -> None:
+        self.codes = codes
+        self.edges = edges
+        self.y = y
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+
+    def __call__(self, b: int) -> _FlatTree:
+        n = self.codes.shape[0]
+        rng = np.random.default_rng(self.seed + b)
+        bootstrap = rng.integers(0, n, size=n)
+        builder = _HistogramBuilder(
+            self.codes,
+            self.edges,
+            self.y,
+            criterion="gini",
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            rng=rng,
+        )
+        return builder.build(bootstrap)
 
 
 class RandomForestClassifier:
@@ -27,6 +77,11 @@ class RandomForestClassifier:
         max_bins: histogram resolution shared by all trees.
         seed: master seed; tree b uses seed + b for bootstrap and
             feature subsampling.
+        workers: process-pool size for fitting trees; 0 forces
+            sequential, ``None`` defers to the ambient
+            :func:`repro.parallel.resolve_workers` rule.  Fitted
+            trees (and therefore predictions) are bit-identical at
+            every worker count.
     """
 
     def __init__(
@@ -38,6 +93,7 @@ class RandomForestClassifier:
         max_features: int | str | None = "sqrt",
         max_bins: int = 64,
         seed: int = 0,
+        workers: int | None = None,
     ) -> None:
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -48,6 +104,7 @@ class RandomForestClassifier:
         self.max_features = max_features
         self.max_bins = max_bins
         self.seed = seed
+        self.workers = workers
         self.trees_: list[_FlatTree] | None = None
         self.n_features_: int | None = None
 
@@ -61,28 +118,33 @@ class RandomForestClassifier:
         raise ValueError(f"bad max_features {self.max_features!r}")
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
-        """Fit all trees on bootstrap resamples; returns self."""
+        """Fit all trees on bootstrap resamples; returns self.
+
+        Bootstrap trees are independent given the shared binning, so
+        with an effective ``workers > 1`` they fan out over a process
+        pool; results are gathered in tree order and are bit-identical
+        to the sequential fit (each tree's RNG is ``seed + b``).
+        """
         X, y = check_X_y(X, y)
-        n, d = X.shape
+        __, d = X.shape
         self.n_features_ = d
         codes, edges = quantile_bin(X, self.max_bins)
-        max_features = self._resolve_max_features(d)
-        self.trees_ = []
-        for b in range(self.n_estimators):
-            rng = np.random.default_rng(self.seed + b)
-            bootstrap = rng.integers(0, n, size=n)
-            builder = _HistogramBuilder(
-                codes,
-                edges,
-                y,
-                criterion="gini",
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=max_features,
-                rng=rng,
-            )
-            self.trees_.append(builder.build(bootstrap))
+        fitter = _TreeFitter(
+            codes,
+            edges,
+            y,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self._resolve_max_features(d),
+            seed=self.seed,
+        )
+        self.trees_ = parallel_map(
+            fitter,
+            range(self.n_estimators),
+            workers=resolve_workers(self.workers),
+            label="forest_fit",
+        )
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:

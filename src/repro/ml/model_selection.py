@@ -14,6 +14,7 @@ from typing import Iterator
 import numpy as np
 
 from ..obs import get_event_stream, get_registry, trace
+from ..parallel import can_pickle, parallel_map, resolve_workers
 from .base import Classifier
 from .metrics import ClassificationReport, classification_report
 
@@ -135,14 +136,53 @@ class CrossValidationResult:
     folds: tuple[ClassificationReport, ...]
 
 
+class _FoldTask:
+    """Picklable per-fold work: fit a fresh model, score the holdout.
+
+    Returns ``(report, fold_seconds, classifier_name)`` so the parent
+    can emit per-fold events and timings identically whether the fold
+    ran inline or on a pool worker.
+    """
+
+    def __init__(
+        self,
+        make_classifier: "type[Classifier] | object",
+        X: np.ndarray,
+        y: np.ndarray,
+    ) -> None:
+        self.make_classifier = make_classifier
+        self.X = X
+        self.y = y
+
+    def __call__(
+        self, split: tuple[np.ndarray, np.ndarray]
+    ) -> tuple[ClassificationReport, float, str]:
+        train_idx, test_idx = split
+        fold_start = time.perf_counter()
+        model = self.make_classifier()  # type: ignore[operator]
+        model.fit(self.X[train_idx], self.y[train_idx])
+        y_pred = model.predict(self.X[test_idx])
+        report = classification_report(self.y[test_idx], y_pred)
+        return report, time.perf_counter() - fold_start, type(model).__name__
+
+
 def cross_validate(
     make_classifier: "type[Classifier] | object",
     X: np.ndarray,
     y: np.ndarray,
     n_splits: int = 10,
     seed: int = 0,
+    workers: int | None = None,
 ) -> CrossValidationResult:
     """Stratified k-fold cross-validation of a classifier factory.
+
+    Folds are independent (splits come from the seeded splitter in
+    the parent; every fold trains a fresh model), so with an
+    effective ``workers > 1`` they fan out over a process pool.
+    Reports are gathered in fold order, making metrics identical to
+    the sequential run.  An unpicklable factory (a lambda or a
+    closure) falls back to sequential with a ``parallel.fallback``
+    event rather than failing.
 
     Args:
         make_classifier: zero-argument callable returning a fresh,
@@ -150,6 +190,8 @@ def cross_validate(
         X, y: full dataset.
         n_splits: number of folds (paper uses 10).
         seed: shuffling seed.
+        workers: process-pool size; 0 forces sequential, ``None``
+            defers to the ambient rule.
 
     Returns:
         Mean and per-fold Table-IV metrics.
@@ -157,29 +199,42 @@ def cross_validate(
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y, dtype=np.int64)
     splitter = StratifiedKFold(n_splits=n_splits, seed=seed)
-    reports: list[ClassificationReport] = []
     fold_seconds = get_registry().histogram("ml.cv_fold_seconds")
     events = get_event_stream()
+    effective = resolve_workers(workers)
+    if effective > 1 and not can_pickle(make_classifier):
+        events.emit(
+            "parallel.fallback",
+            label="cv",
+            reason="classifier factory is not picklable",
+        )
+        effective = 0
     with trace(
         "ml.cross_validate", n_splits=n_splits, n_samples=len(y)
     ) as span:
-        for fold, (train_idx, test_idx) in enumerate(splitter.split(y)):
-            fold_start = time.perf_counter()
-            model = make_classifier()  # type: ignore[operator]
-            model.fit(X[train_idx], y[train_idx])
-            y_pred = model.predict(X[test_idx])
-            reports.append(classification_report(y[test_idx], y_pred))
-            elapsed = time.perf_counter() - fold_start
+        splits = list(splitter.split(y))
+        outcomes = parallel_map(
+            _FoldTask(make_classifier, X, y),
+            splits,
+            workers=effective,
+            label="cv",
+        )
+        reports: list[ClassificationReport] = []
+        classifier_name = ""
+        for fold, (report, elapsed, classifier_name) in enumerate(
+            outcomes
+        ):
+            reports.append(report)
             fold_seconds.observe(elapsed)
             events.emit(
                 "ml.cv_fold",
                 fold=fold,
-                classifier=type(model).__name__,
-                accuracy=round(reports[-1].accuracy, 6),
+                classifier=classifier_name,
+                accuracy=round(report.accuracy, 6),
                 seconds=round(elapsed, 6),
             )
         span.set(
-            classifier=type(model).__name__,
+            classifier=classifier_name,
             mean_accuracy=round(
                 float(np.mean([r.accuracy for r in reports])), 6
             ),

@@ -29,6 +29,10 @@ Span taxonomy (dotted, one namespace per layer):
 ``label.*``      the four Table-III labeling stages
 ``ml.*``         detector fit and cross-validation
 ``experiment.*`` the paper's end-to-end phases
+``parallel.*``   process-pool fan-out (``repro.parallel``): one
+                 ``parallel.map`` span per fan-out with a
+                 ``parallel.chunk`` child per worker chunk, carrying
+                 the worker-side spans merged back into the parent
 
 Everything is resettable (``reset()``) for test isolation and cheaply
 disableable (``set_enabled(False)``) so instrumented hot paths cost a

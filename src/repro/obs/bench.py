@@ -117,6 +117,12 @@ class BenchResult:
         return str(self.meta.get("runid", ""))
 
     @property
+    def workers(self) -> int:
+        """Process-pool size the run used (0 = sequential)."""
+        value = self.meta.get("workers", 0)
+        return int(value) if isinstance(value, (int, float)) else 0
+
+    @property
     def filename(self) -> str:
         return f"{BENCH_PREFIX}{self.runid}.json"
 

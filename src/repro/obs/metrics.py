@@ -117,6 +117,11 @@ class Histogram:
     def max(self) -> float:
         return max(self._values) if self._values else 0.0
 
+    @property
+    def values(self) -> list[float]:
+        """A copy of every raw observation (order unspecified)."""
+        return list(self._values)
+
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile, ``q`` in [0, 100].
 
@@ -214,6 +219,49 @@ class MetricsRegistry:
             gauge._reset()
         for histogram in self._histograms.values():
             histogram._reset()
+
+    def dump_state(self) -> dict[str, dict]:
+        """Raw, transferable instrument state (cross-process merge).
+
+        Unlike :meth:`snapshot`, histograms are dumped as their *raw*
+        observation lists so a receiving registry can re-observe each
+        value and keep exact percentiles.  Empty instruments are
+        skipped — a worker ships only what its chunk touched.
+        """
+        return {
+            "counters": {
+                name: c.value
+                for name, c in sorted(self._counters.items())
+                if c.value
+            },
+            "gauges": {
+                name: g.value
+                for name, g in sorted(self._gauges.items())
+                if g.value is not None
+            },
+            "histograms": {
+                name: h.values
+                for name, h in sorted(self._histograms.items())
+                if h.count
+            },
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another registry's :meth:`dump_state` into this one.
+
+        Counters add, gauges last-write-wins (merge order is the
+        caller's chunk order, so it is deterministic), histograms
+        re-observe every raw value.  Writes go through the ordinary
+        instrument methods, so merging is a no-op while disabled.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, values in state.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            for value in values:
+                histogram.observe(value)
 
     def snapshot(self) -> dict[str, dict]:
         """A plain-data view of every instrument with recorded state."""

@@ -1,0 +1,61 @@
+"""Deterministic process-pool execution layer.
+
+The paper's pitch is *efficiency and scalability*, yet the three
+hottest stages of the reproduction — fitting the 70-tree Random
+Forest, 10-fold cross-validation, and the clustering passes of the
+labeling pipeline — are embarrassingly parallel and ran on a single
+core.  This package fans them out over a ``ProcessPoolExecutor``
+without giving up the repo's determinism contract:
+
+* :func:`parallel_map` — ordered map over picklable work items.  At
+  ``workers=0`` (the default) it is **exactly** ``[fn(x) for x in
+  items]``: no pool, no extra spans, bit-identical results.  With
+  ``workers>1`` items are chunked, shipped to pool workers, and
+  gathered **in submission order**, so any task whose result depends
+  only on its item (never on execution order) produces output
+  identical to the sequential run.
+* :func:`executor` — a context manager that pins a worker count (and
+  a reusable pool) for a region of code; ``parallel_map`` calls inside
+  the region inherit it.
+* :func:`resolve_workers` — the single resolution rule: explicit
+  ``workers=`` kwarg > active :func:`executor` context > the
+  ``REPRO_WORKERS`` environment variable > 0 (sequential).  Inside a
+  pool worker the answer is always 0, so nested fan-out can never
+  oversubscribe the machine.
+
+Observability integrates via :mod:`repro.parallel.obsmerge`: each
+chunk runs against the worker's own (reset) global registry/tracer,
+and its metric deltas and spans are shipped back and merged into the
+parent process, so ``RunReport`` reconciliation (capture counts,
+label counters) holds regardless of the worker count.  The parent
+records ``parallel.map`` spans, per-chunk ``parallel.chunk``
+spans/events, and ``parallel.chunks`` / ``parallel.chunk_seconds``
+metrics.
+"""
+
+from __future__ import annotations
+
+from .executor import (
+    DEFAULT_CHUNKS_PER_WORKER,
+    WORKERS_ENV_VAR,
+    ParallelExecutor,
+    can_pickle,
+    current_executor,
+    executor,
+    parallel_map,
+    resolve_workers,
+)
+from .obsmerge import export_obs_state, merge_obs_state
+
+__all__ = [
+    "DEFAULT_CHUNKS_PER_WORKER",
+    "ParallelExecutor",
+    "WORKERS_ENV_VAR",
+    "can_pickle",
+    "current_executor",
+    "executor",
+    "export_obs_state",
+    "merge_obs_state",
+    "parallel_map",
+    "resolve_workers",
+]

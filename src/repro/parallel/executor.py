@@ -1,0 +1,309 @@
+"""The pool, the worker-count resolution rule, and ``parallel_map``.
+
+See the package docstring for the contract.  Implementation notes:
+
+* The pool is ``concurrent.futures.ProcessPoolExecutor`` over the
+  ``fork`` start method where available (Linux): forked workers share
+  the parent's imported modules, so startup is milliseconds, and the
+  chunk payload is the only per-task pickle cost.  On platforms
+  without ``fork`` the default start method is used; every task
+  callable this repo ships to workers is a module-level function,
+  bound method, or picklable callable class, so both paths work.
+* Each worker process is stamped with ``REPRO_IN_WORKER=1`` by the
+  pool initializer; :func:`resolve_workers` answers 0 inside one, so
+  a parallel stage nested in another parallel stage (CV folds fitting
+  forests, say) degrades to sequential instead of forking pools of
+  pools.
+* Determinism: chunks are submitted and gathered in item order, and
+  chunk boundaries only affect *observability* (how many
+  ``parallel.chunk`` events fire), never results — each item's result
+  depends only on the item.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import multiprocessing
+import os
+import pickle
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+
+from ..obs import is_enabled, trace
+from .obsmerge import export_obs_state, record_chunk
+
+#: Environment variable giving the default pool size (0 = sequential).
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Set inside every pool worker; forces nested fan-out sequential.
+IN_WORKER_ENV_VAR = "REPRO_IN_WORKER"
+
+#: Default chunking: ~4 chunks per worker balances scheduling slack
+#: against per-chunk pickle/IPC overhead.
+DEFAULT_CHUNKS_PER_WORKER = 4
+
+log = logging.getLogger("repro.parallel.executor")
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Stack of entered :func:`executor` contexts (innermost last).
+_ACTIVE: list["ParallelExecutor"] = []
+
+
+def current_executor() -> "ParallelExecutor | None":
+    """The innermost active :func:`executor` context, if any."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve an effective worker count.
+
+    Order: explicit ``workers`` argument > active :func:`executor`
+    context > ``REPRO_WORKERS`` environment variable > 0.  ``-1``
+    means "all cores".  Inside a pool worker the answer is always 0.
+
+    Raises:
+        ValueError: on a negative count other than -1, or a
+            non-integer ``REPRO_WORKERS`` value.
+    """
+    if os.environ.get(IN_WORKER_ENV_VAR):
+        return 0
+    if workers is None:
+        active = current_executor()
+        if active is not None:
+            return active.workers
+        raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if not raw:
+            return 0
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV_VAR}={raw!r} is not an integer"
+            ) from None
+    if workers == -1:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(
+            f"workers must be >= 0 or -1 (all cores), got {workers}"
+        )
+    return int(workers)
+
+
+def can_pickle(obj: object) -> bool:
+    """Whether ``obj`` survives a round through ``pickle.dumps``.
+
+    Callers use this to fall back to the sequential path for task
+    callables a pool cannot ship (lambdas, closures over live
+    engines) instead of raising mid-phase.
+    """
+    try:
+        pickle.dumps(obj)
+    except Exception as exc:
+        log.debug(
+            "falling back to sequential: %r is not picklable (%s)",
+            obj,
+            type(exc).__name__,
+        )
+        return False
+    return True
+
+
+def _worker_init() -> None:
+    """Pool initializer: mark the process as a worker."""
+    os.environ[IN_WORKER_ENV_VAR] = "1"
+
+
+def _run_chunk(
+    fn: Callable[[T], R], chunk: list[T], capture_obs: bool
+) -> tuple[list[R], float, dict | None]:
+    """Execute one chunk inside a pool worker.
+
+    Resets the worker's global obs state first (workers are reused
+    across chunks, and forked workers inherit the parent's state), so
+    the exported snapshot is exactly this chunk's delta.
+    """
+    state: dict | None = None
+    if capture_obs:
+        from ..obs import reset, set_enabled
+
+        reset()
+        set_enabled(True)
+    t0 = time.perf_counter()
+    results = [fn(item) for item in chunk]
+    seconds = time.perf_counter() - t0
+    if capture_obs:
+        state = export_obs_state()
+    return results, seconds, state
+
+
+def _mp_context():
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class ParallelExecutor:
+    """A fixed worker count plus a lazily created, reusable pool.
+
+    Constructed by :func:`executor`; ``parallel_map`` calls inside the
+    context reuse one pool instead of forking a fresh one per stage.
+    """
+
+    def __init__(
+        self, workers: int, chunk_size: int | None = None
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self._pool: ProcessPoolExecutor | None = None
+
+    def pool(self) -> ProcessPoolExecutor:
+        """The pool, created on first use.
+
+        Raises:
+            ValueError: for a sequential (``workers<=1``) executor,
+                which must never fork a pool.
+        """
+        if self.workers <= 1:
+            raise ValueError(
+                "a sequential executor (workers<=1) has no pool"
+            )
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=_mp_context(),
+                initializer=_worker_init,
+            )
+        return self._pool
+
+    @property
+    def started(self) -> bool:
+        """Whether the pool has actually been forked yet."""
+        return self._pool is not None
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+
+@contextmanager
+def executor(
+    workers: int | None = None, chunk_size: int | None = None
+) -> Iterator[ParallelExecutor]:
+    """Pin a worker count (and one reusable pool) for a region.
+
+    ``workers=None`` resolves from the ambient rule at entry (outer
+    context, then ``REPRO_WORKERS``, then 0), so ``executor(0)``
+    *forces* sequential execution for the region even when the
+    environment asks for a pool.
+
+    .. code-block:: python
+
+        with executor(workers=4):
+            forest.fit(X, y)        # fans trees out over one pool
+            cross_validate(...)     # reuses the same pool
+    """
+    context = ParallelExecutor(
+        resolve_workers(workers), chunk_size=chunk_size
+    )
+    _ACTIVE.append(context)
+    try:
+        yield context
+    finally:
+        _ACTIVE.pop()
+        context.close()
+
+
+def _chunked(items: list, chunk_size: int) -> list[list]:
+    return [
+        items[i : i + chunk_size]
+        for i in range(0, len(items), chunk_size)
+    ]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T] | Sequence[T],
+    *,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    label: str = "map",
+) -> list[R]:
+    """Ordered ``[fn(x) for x in items]``, optionally over a pool.
+
+    With an effective worker count of 0 or 1 (see
+    :func:`resolve_workers`) this **is** the list comprehension — no
+    pool, no spans, no events — so sequential callers pay nothing and
+    reproduce pre-parallel behavior exactly.  With ``workers>1``,
+    items are chunked, executed on pool workers, and gathered in
+    submission order; worker-side metric deltas and spans are merged
+    into this process (:mod:`repro.parallel.obsmerge`).
+
+    Args:
+        fn: a picklable callable applied to one item at a time.
+        items: the work items (materialized to a list).
+        workers: explicit pool size; ``None`` defers to the ambient
+            resolution rule.
+        chunk_size: items per shipped chunk; default balances ~4
+            chunks per worker.
+        label: short name recorded on ``parallel.*`` spans/events so
+            stages are tellable apart in reports.
+
+    Raises:
+        Exception: whatever ``fn`` raises, re-raised in the parent
+            (the surrounding span records the error type).
+    """
+    items = list(items)
+    resolved = resolve_workers(workers)
+    if resolved <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+
+    active = current_executor()
+    if active is not None and active.workers == resolved:
+        owned = None
+        pool = active.pool()
+        if chunk_size is None:
+            chunk_size = active.chunk_size
+    else:
+        owned = ParallelExecutor(resolved)
+        pool = owned.pool()
+    if chunk_size is None:
+        chunk_size = max(
+            1,
+            math.ceil(len(items) / (resolved * DEFAULT_CHUNKS_PER_WORKER)),
+        )
+    chunks = _chunked(items, chunk_size)
+    capture_obs = is_enabled()
+    results: list[R] = []
+    try:
+        with trace(
+            "parallel.map",
+            label=label,
+            workers=resolved,
+            chunks=len(chunks),
+            items=len(items),
+        ):
+            futures: list[Future] = [
+                pool.submit(_run_chunk, fn, chunk, capture_obs)
+                for chunk in chunks
+            ]
+            for index, future in enumerate(futures):
+                chunk_results, seconds, state = future.result()
+                results.extend(chunk_results)
+                record_chunk(
+                    label, index, len(chunks[index]), seconds, state
+                )
+    finally:
+        if owned is not None:
+            owned.close()
+    return results

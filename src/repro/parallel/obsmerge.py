@@ -1,0 +1,99 @@
+"""Worker-side observability capture and parent-side merging.
+
+A pool worker is a separate process with its own process-global
+metrics registry, tracer, and event stream.  Anything a task records
+there would silently vanish when the worker exits — breaking the
+reconciliation invariants ``scripts/smoke_report.py`` checks (counter
+totals must match phase return values regardless of ``workers=``).
+
+The protocol:
+
+1. Before running a chunk, the worker **resets** its global
+   observability state (pool workers are reused across chunks, and
+   fork-started workers inherit the parent's state wholesale).
+2. After the chunk, :func:`export_obs_state` snapshots the raw,
+   transferable state: counter values, gauge values, *raw* histogram
+   observations (not summaries — the parent re-observes each value so
+   percentiles stay exact), and the completed span forest as plain
+   dicts.
+3. Back in the parent, :func:`merge_obs_state` folds the metric
+   deltas into the live registry and :func:`record_chunk` hangs the
+   worker's spans under a ``parallel.chunk`` span whose duration is
+   the worker-measured wall-clock (not the parent's gather-wait).
+
+Everything here is plain data (dicts, lists, floats), so the payload
+pickles cheaply alongside the chunk results.
+"""
+
+from __future__ import annotations
+
+from ..obs import (
+    Span,
+    get_event_stream,
+    get_registry,
+    get_tracer,
+    is_enabled,
+)
+
+
+def export_obs_state() -> dict:
+    """Snapshot the *current process's* obs state as plain data.
+
+    Called inside a pool worker after a chunk finishes; the result is
+    shipped back to the parent and fed to :func:`merge_obs_state` /
+    :func:`record_chunk`.
+    """
+    return {
+        "metrics": get_registry().dump_state(),
+        "spans": [span.to_dict() for span in get_tracer().roots],
+    }
+
+
+def merge_obs_state(state: dict) -> None:
+    """Fold a worker's exported metric deltas into the live registry."""
+    get_registry().merge_state(state.get("metrics", {}))
+
+
+def record_chunk(
+    label: str,
+    index: int,
+    n_items: int,
+    seconds: float,
+    state: dict | None,
+) -> None:
+    """Record one completed chunk in the parent's obs layer.
+
+    Merges the worker's metric deltas, appends a ``parallel.chunk``
+    span (carrying the worker's own span forest as children) under the
+    currently open span, bumps the chunk instruments, and emits a
+    ``parallel.chunk`` event.  No-op while observability is disabled.
+    """
+    if not is_enabled():
+        return
+    if state:
+        merge_obs_state(state)
+    registry = get_registry()
+    registry.counter("parallel.chunks").inc()
+    registry.histogram("parallel.chunk_seconds").observe(seconds)
+    span = Span(
+        name="parallel.chunk",
+        duration_s=seconds,
+        attributes={"label": label, "chunk": index, "items": n_items},
+        children=[
+            Span.from_dict(child)
+            for child in (state or {}).get("spans", ())
+        ],
+    )
+    tracer = get_tracer()
+    parent = tracer.current
+    if parent is not None:
+        parent.children.append(span)
+    else:
+        tracer.roots.append(span)
+    get_event_stream().emit(
+        "parallel.chunk",
+        label=label,
+        chunk=index,
+        items=n_items,
+        seconds=round(seconds, 6),
+    )

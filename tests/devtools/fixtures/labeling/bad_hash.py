@@ -1,0 +1,25 @@
+"""Known-bad builtin-hash fixture (linted, never imported).
+
+The directory component ``labeling`` puts this file in the
+determinism scope; the RPL005 violations below are asserted by exact
+rule id and line number in ``test_determinism_rules.py`` — renumber
+carefully.
+"""
+
+
+def shingle_ids(text: str) -> list[int]:
+    return [hash(text[i : i + 3]) for i in range(len(text))]  # line 11
+
+
+def bucket_of(value: str, n_buckets: int) -> int:
+    return hash(value) % n_buckets  # line 15
+
+
+class Signature:
+    def key(self) -> int:
+        # Calling an object's own stable method is fine; the builtin
+        # is not, even via a default argument.
+        return self.mix(seed=hash("salt"))  # line 22
+
+    def mix(self, seed: int) -> int:
+        return seed ^ 0x9E3779B9

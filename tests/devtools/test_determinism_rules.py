@@ -1,4 +1,4 @@
-"""RPL001-RPL004: the determinism family against known fixtures."""
+"""RPL001-RPL005: the determinism family against known fixtures."""
 
 from __future__ import annotations
 
@@ -9,6 +9,7 @@ from tests.devtools.conftest import FIXTURES, rule_lines
 BAD = FIXTURES / "core" / "bad_determinism.py"
 GOOD = FIXTURES / "core" / "good_determinism.py"
 OUTSIDE = FIXTURES / "outside" / "uses_random.py"
+BAD_HASH = FIXTURES / "labeling" / "bad_hash.py"
 
 
 def lint(*paths):
@@ -48,6 +49,28 @@ class TestKnownBad:
         assert all(f.fix_hint for f in lint(BAD))
 
 
+class TestNoBuiltinHash:
+    """RPL005: builtin ``hash()`` is PYTHONHASHSEED-salted per process."""
+
+    def test_exact_rule_id_and_lines(self):
+        findings = lint(BAD_HASH)
+        assert rule_lines(findings, "RPL005", "bad_hash.py") == [
+            11,
+            15,
+            22,
+        ]
+        assert {f.rule for f in findings} == {"RPL005"}
+
+    def test_message_and_fix_hint_name_the_offense(self):
+        findings = [f for f in lint(BAD_HASH) if f.rule == "RPL005"]
+        assert all("hash()" in f.message for f in findings)
+        assert all("stable_hash64" in f.fix_hint for f in findings)
+
+    def test_out_of_scope_hash_is_ignored(self):
+        # The same calls outside a deterministic package don't fire.
+        assert rule_lines(lint(OUTSIDE), "RPL005", "uses_random.py") == []
+
+
 class TestKnownGood:
     def test_seeded_and_perf_counter_patterns_pass(self):
         assert lint(GOOD) == []
@@ -63,6 +86,7 @@ def test_family_selectable_by_prefix():
         "RPL002",
         "RPL003",
         "RPL004",
+        "RPL005",
     }
     findings, _ = run_lint([FIXTURES], rules=rules, root=FIXTURES)
     assert {f.rule for f in findings} <= {r.id for r in rules}

@@ -1,8 +1,16 @@
 """Tests for MinHash near-duplicate detection."""
 
+import os
+import subprocess
+import sys
+
 import pytest
 
-from repro.labeling.minhash import MinHasher, group_by_signature
+from repro.labeling.minhash import (
+    MinHasher,
+    group_by_signature,
+    stable_hash64,
+)
 
 
 class TestMinHasher:
@@ -69,3 +77,50 @@ class TestGrouping:
     def test_singletons_dropped(self):
         texts = ["alpha words", "beta words here", "gamma phrase now"]
         assert group_by_signature(texts, MinHasher(seed=4)) == []
+
+
+_HASHSEED_SNIPPET = """\
+from repro.labeling.minhash import MinHasher, stable_hash64
+
+hasher = MinHasher(n_hashes=32, seed=5)
+print(stable_hash64("win big cash now"))
+print(hasher.signature("join our amazing community for daily deals"))
+"""
+
+
+class TestStableHash:
+    def test_known_value_and_range(self):
+        value = stable_hash64("abc")
+        assert value == stable_hash64("abc")
+        assert 0 <= value < 2**63
+        assert stable_hash64("abc") != stable_hash64("abd")
+
+    @pytest.mark.parametrize("hashseed", ["0", "1", "12345"])
+    def test_signatures_survive_pythonhashseed(self, hashseed):
+        """Signatures are identical across interpreter hash seeds.
+
+        The regression this guards: shingles built on the builtin
+        ``hash()`` are salted per process (PYTHONHASHSEED), so two
+        runs of the same pipeline grouped different tweets.
+        """
+        env = dict(os.environ, PYTHONHASHSEED=hashseed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH", "")])
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", _HASHSEED_SNIPPET],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        )
+        assert proc.returncode == 0, proc.stderr
+        reference = subprocess.run(
+            [sys.executable, "-c", _HASHSEED_SNIPPET],
+            capture_output=True,
+            text=True,
+            env=dict(env, PYTHONHASHSEED="99"),
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        )
+        assert reference.returncode == 0, reference.stderr
+        assert proc.stdout == reference.stdout

@@ -1,0 +1,226 @@
+"""Executor semantics: resolution rule, pools, obs merge, ordering."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.obs import (
+    get_event_stream,
+    get_registry,
+    get_tracer,
+    reset,
+    set_enabled,
+)
+from repro.parallel import (
+    WORKERS_ENV_VAR,
+    ParallelExecutor,
+    can_pickle,
+    current_executor,
+    executor,
+    parallel_map,
+    resolve_workers,
+)
+from repro.parallel.executor import IN_WORKER_ENV_VAR
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    reset()
+    set_enabled(True)
+    yield
+    reset()
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+    monkeypatch.delenv(IN_WORKER_ENV_VAR, raising=False)
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def boom(x: int) -> int:
+    raise RuntimeError(f"boom at {x}")
+
+
+def observed_square(x: int) -> int:
+    """A task that records metrics and an event inside the worker."""
+    get_registry().counter("ml.tasks_done").inc()
+    get_registry().histogram("ml.task_value").observe(float(x))
+    get_event_stream().emit("ml.task", item=x)
+    return x * x
+
+
+class TestResolveWorkers:
+    def test_default_is_sequential(self):
+        assert resolve_workers() == 0
+        assert resolve_workers(None) == 0
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "7")
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) == 0
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "5")
+        assert resolve_workers() == 5
+
+    def test_env_var_blank_means_sequential(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "  ")
+        assert resolve_workers() == 0
+
+    def test_env_var_junk_raises(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "lots")
+        with pytest.raises(ValueError, match="not an integer"):
+            resolve_workers()
+
+    def test_context_beats_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "5")
+        with executor(workers=2):
+            assert resolve_workers() == 2
+        assert resolve_workers() == 5
+
+    def test_minus_one_is_all_cores(self):
+        assert resolve_workers(-1) == (os.cpu_count() or 1)
+
+    def test_other_negatives_raise(self):
+        with pytest.raises(ValueError, match=">= 0 or -1"):
+            resolve_workers(-2)
+
+    def test_inside_worker_always_sequential(self, monkeypatch):
+        monkeypatch.setenv(IN_WORKER_ENV_VAR, "1")
+        monkeypatch.setenv(WORKERS_ENV_VAR, "8")
+        assert resolve_workers() == 0
+        assert resolve_workers(4) == 0
+
+
+class TestExecutorContext:
+    def test_nesting_innermost_wins(self):
+        with executor(workers=4):
+            with executor(workers=2) as inner:
+                assert current_executor() is inner
+                assert resolve_workers() == 2
+            assert resolve_workers() == 4
+        assert current_executor() is None
+
+    def test_executor_zero_forces_sequential_over_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "4")
+        with executor(workers=0) as context:
+            assert resolve_workers() == 0
+            assert parallel_map(square, [1, 2, 3]) == [1, 4, 9]
+            assert not context.started
+
+    def test_pool_is_lazy_and_reused(self):
+        with executor(workers=2) as context:
+            assert not context.started
+            parallel_map(square, list(range(6)))
+            assert context.started
+            first = context.pool()
+            parallel_map(square, list(range(6)))
+            assert context.pool() is first
+        assert not context.started  # closed on exit
+
+    def test_sequential_executor_has_no_pool(self):
+        context = ParallelExecutor(workers=0)
+        with pytest.raises(ValueError, match="no pool"):
+            context.pool()
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(workers=-3)
+        with pytest.raises(ValueError):
+            ParallelExecutor(workers=2, chunk_size=0)
+
+
+class TestParallelMap:
+    def test_sequential_matches_comprehension(self):
+        items = list(range(17))
+        assert parallel_map(square, items, workers=0) == [
+            x * x for x in items
+        ]
+
+    def test_parallel_preserves_order(self):
+        items = list(range(37))
+        assert parallel_map(square, items, workers=3) == [
+            x * x for x in items
+        ]
+
+    def test_single_item_never_forks(self):
+        assert parallel_map(square, [6], workers=4) == [36]
+        assert get_tracer().roots == []
+
+    def test_empty_input(self):
+        assert parallel_map(square, [], workers=4) == []
+
+    def test_chunk_size_respected(self):
+        parallel_map(square, list(range(10)), workers=2, chunk_size=5)
+        assert get_registry().counter("parallel.chunks").value == 2
+
+    def test_sequential_path_emits_no_obs(self):
+        parallel_map(square, list(range(10)), workers=0)
+        assert get_tracer().roots == []
+        assert get_registry().counter("parallel.chunks").value == 0
+        assert get_event_stream().events("parallel.chunk") == []
+
+    def test_parallel_spans_and_events(self):
+        parallel_map(
+            square, list(range(8)), workers=2, chunk_size=4, label="sq"
+        )
+        roots = get_tracer().roots
+        assert [span.name for span in roots] == ["parallel.map"]
+        assert roots[0].attributes["label"] == "sq"
+        assert roots[0].attributes["workers"] == 2
+        chunks = roots[0].children
+        assert [span.name for span in chunks] == ["parallel.chunk"] * 2
+        assert [span.attributes["chunk"] for span in chunks] == [0, 1]
+        events = get_event_stream().events("parallel.chunk")
+        assert [e.attributes["items"] for e in events] == [4, 4]
+
+    def test_worker_obs_merged_into_parent(self):
+        items = list(range(12))
+        parallel_map(observed_square, items, workers=3, chunk_size=3)
+        registry = get_registry()
+        assert registry.counter("ml.tasks_done").value == len(items)
+        histogram = registry.histogram("ml.task_value")
+        assert histogram.count == len(items)
+        assert sorted(histogram.values) == [float(x) for x in items]
+
+    def test_worker_obs_matches_sequential_run(self):
+        parallel_map(observed_square, list(range(9)), workers=0)
+        sequential = get_registry().snapshot()
+        reset()
+        set_enabled(True)
+        parallel_map(observed_square, list(range(9)), workers=3)
+        parallel = get_registry().snapshot()
+        assert (
+            sequential["counters"]["ml.tasks_done"]
+            == parallel["counters"]["ml.tasks_done"]
+        )
+        assert (
+            sequential["histograms"]["ml.task_value"]
+            == parallel["histograms"]["ml.task_value"]
+        )
+
+    def test_errors_propagate(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            parallel_map(boom, list(range(4)), workers=2)
+
+    def test_disabled_obs_records_nothing(self):
+        set_enabled(False)
+        result = parallel_map(square, list(range(8)), workers=2)
+        assert result == [x * x for x in range(8)]
+        set_enabled(True)
+        assert get_tracer().roots == []
+        assert get_registry().counter("parallel.chunks").value == 0
+
+
+class TestCanPickle:
+    def test_module_level_function(self):
+        assert can_pickle(square)
+
+    def test_lambda_is_not(self):
+        assert not can_pickle(lambda x: x)

@@ -1,0 +1,154 @@
+"""Parity: every pool-backed hot path is identical at any worker count.
+
+The parallel layer's whole contract is that ``workers=`` is a pure
+performance knob.  These tests run each fan-out site sequentially
+(``workers=0``) and over a 4-process pool (``workers=4``) at the same
+seed and assert bit-for-bit equal outputs.  They run fine on a single
+core — correctness needs processes, not parallel speedup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.labeling.dhash import dhash_many
+from repro.labeling.minhash import MinHasher, group_by_signature
+from repro.labeling.neardup import group_near_duplicates
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.model_selection import cross_validate
+from repro.obs import reset, set_enabled
+from repro.twittersim.clock import days
+from repro.twittersim.entities import (
+    Tweet,
+    TweetKind,
+    TweetSource,
+    UserProfile,
+)
+
+WORKERS = 4
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    reset()
+    set_enabled(True)
+    yield
+    reset()
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(42)
+    X = rng.normal(size=(160, 6))
+    y = (X[:, 0] + 0.5 * X[:, 2] > 0).astype(np.int64)
+    return X, y
+
+
+def make_forest() -> RandomForestClassifier:
+    return RandomForestClassifier(n_estimators=10, max_depth=6, seed=3)
+
+
+def _profile(uid: int) -> UserProfile:
+    return UserProfile(
+        user_id=uid,
+        screen_name=f"user{uid}",
+        name="U",
+        created_at=-days(50),
+        description="",
+        friends_count=1,
+        followers_count=1,
+        statuses_count=1,
+        listed_count=0,
+        favourites_count=0,
+        verified=False,
+    )
+
+
+def _tweet(text: str, at: float, uid: int) -> Tweet:
+    return Tweet(
+        tweet_id=int(at * 100) + uid * 10_000_000,
+        created_at=at,
+        user=_profile(uid),
+        text=text,
+        kind=TweetKind.TWEET,
+        source=TweetSource.WEB,
+        mentions=(),
+        urls=tuple(t for t in text.split() if t.startswith("http")),
+        in_reply_to_tweet_id=None,
+        in_reply_to_created_at=None,
+    )
+
+
+class TestForestParity:
+    def test_predictions_bitwise_identical(self, dataset):
+        X, y = dataset
+        sequential = RandomForestClassifier(
+            n_estimators=10, max_depth=6, seed=3, workers=0
+        ).fit(X, y)
+        parallel = RandomForestClassifier(
+            n_estimators=10, max_depth=6, seed=3, workers=WORKERS
+        ).fit(X, y)
+        assert np.array_equal(
+            sequential.predict_proba(X), parallel.predict_proba(X)
+        )
+        assert np.array_equal(
+            sequential.feature_importances(),
+            parallel.feature_importances(),
+        )
+
+
+class TestCrossValidationParity:
+    def test_fold_metrics_identical(self, dataset):
+        X, y = dataset
+        sequential = cross_validate(
+            make_forest, X, y, n_splits=4, seed=9, workers=0
+        )
+        parallel = cross_validate(
+            make_forest, X, y, n_splits=4, seed=9, workers=WORKERS
+        )
+        assert sequential.mean == parallel.mean
+        assert sequential.folds == parallel.folds
+
+    def test_unpicklable_factory_falls_back(self, dataset):
+        X, y = dataset
+        baseline = cross_validate(
+            make_forest, X, y, n_splits=4, seed=9, workers=0
+        )
+        lambda_result = cross_validate(
+            lambda: make_forest(), X, y, n_splits=4, seed=9, workers=WORKERS
+        )
+        assert lambda_result.mean == baseline.mean
+
+
+class TestLabelingParity:
+    def test_minhash_groups_identical(self):
+        texts = [
+            f"win free cash now today offer number {i % 7} act fast"
+            for i in range(60)
+        ] + ["a unique gardening story %d with detail" % i for i in range(9)]
+        hasher = MinHasher(seed=5)
+        assert group_by_signature(
+            texts, hasher, workers=0
+        ) == group_by_signature(texts, hasher, workers=WORKERS)
+
+    def test_neardup_groups_identical(self):
+        tweets = [
+            _tweet(
+                f"join our amazing deal number {i % 5} right now friends",
+                at=float(i * 1800),
+                uid=i,
+            )
+            for i in range(48)
+        ]
+        hasher = MinHasher(seed=2)
+        assert group_near_duplicates(
+            tweets, hasher, workers=0
+        ) == group_near_duplicates(tweets, hasher, workers=WORKERS)
+
+    def test_dhash_identical(self):
+        rng = np.random.default_rng(11)
+        images = [rng.integers(0, 256, size=(18, 18)) for __ in range(24)]
+        assert dhash_many(images, workers=0) == dhash_many(
+            images, workers=WORKERS
+        )
