@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# One-command local gate: style, invariants, tier-1 tests.
+# One-command local gate: style, invariants, tier-1 tests, perf smoke.
 #
-#   ./scripts/check.sh            # the full chain
-#   ./scripts/check.sh --fast     # skip pytest (lint + style only)
+#   ./scripts/check.sh            # the full chain, incl. benchmarks/perf
+#   ./scripts/check.sh --fast     # same gate minus benchmarks/perf
 #
-# Mirrors what CI runs; scripts/bench.py (the perf gate) and the
-# benchmarks/ suite are heavier and stay separate.
+# Mirrors what CI runs; scripts/bench.py (the BENCH_*.json regression
+# artifacts) and the table/figure benchmarks stay separate.  The perf
+# lane runs at REPRO_SCALE=tiny unless the caller exports a scale.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,15 +26,21 @@ PYTHONPATH=src python -m repro.devtools.lint \
     src/repro scripts examples benchmarks \
     --baseline lint-baseline.json
 
-if [[ "$fast" == "0" ]]; then
-    echo "== tier-1 pytest =="
-    PYTHONPATH=src python -m pytest -x -q
+echo "== tier-1 pytest =="
+PYTHONPATH=src python -m pytest -x -q
 
-    echo "== tier-1 smoke subset under REPRO_WORKERS=2 =="
-    # The parallel layer must not change any result: rerun the suites
-    # covering the pool-backed hot paths with a 2-worker default.
-    REPRO_WORKERS=2 PYTHONPATH=src python -m pytest -q \
-        tests/parallel tests/ml tests/labeling
+echo "== tier-1 smoke subset under REPRO_WORKERS=2 =="
+# The parallel layer must not change any result: rerun the suites
+# covering the pool-backed hot paths — and the chaos harness, whose
+# capture-reconciliation invariants must hold under a pool too —
+# with a 2-worker default.
+REPRO_WORKERS=2 PYTHONPATH=src python -m pytest -q \
+    tests/parallel tests/ml tests/labeling tests/chaos
+
+if [[ "$fast" == "0" ]]; then
+    echo "== perf smoke (benchmarks/perf) =="
+    REPRO_SCALE="${REPRO_SCALE:-tiny}" PYTHONPATH=src \
+        python -m pytest -q benchmarks/perf
 fi
 
 echo "== all checks passed =="

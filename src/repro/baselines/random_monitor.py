@@ -47,6 +47,7 @@ class RandomAccountSelector:
         self.rest = rest
         self.n_nodes = n_nodes
         self.activity = activity
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
         self.last_report = None
 

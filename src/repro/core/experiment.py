@@ -23,6 +23,7 @@ from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..faults import FaultInjector, FaultPlan
 from ..labeling.manual import ManualChecker
 from ..labeling.pipeline import GroundTruthLabeler, LabeledDataset
 from ..ml.base import Classifier
@@ -34,7 +35,11 @@ from ..twittersim.engine import TwitterEngine
 from ..twittersim.population import build_population
 from .detector import ClassificationOutcome, PseudoHoneypotDetector
 from .monitor import CapturedTweet
-from .network import ExposureLedger, PseudoHoneypotNetwork
+from .network import (
+    ExposureLedger,
+    PseudoHoneypotNetwork,
+    RecoveryLedger,
+)
 from .portability import ActivityPolicy
 from .selection import AttributeSelector, SelectionPlan
 
@@ -49,6 +54,9 @@ class NetworkRun:
     exposure: ExposureLedger
     n_nodes_requested: int
     hours: int
+    #: Degraded-mode accounting (reconnects, backfills, losses);
+    #: None only for runs predating the resilience layer.
+    recovery: RecoveryLedger | None = None
 
     @property
     def n_captures(self) -> int:
@@ -67,6 +75,11 @@ class PseudoHoneypotExperiment:
             ambient :func:`repro.parallel.resolve_workers` rule and 0
             forces sequential.  Outputs are identical at every worker
             count.
+        fault_plan: optional chaos schedule; a
+            :class:`repro.faults.FaultInjector` seeded from the
+            experiment seed executes it against this world.  An empty
+            plan (or None) leaves the run byte-identical to an
+            uninstrumented one.
     """
 
     def __init__(
@@ -75,10 +88,18 @@ class PseudoHoneypotExperiment:
         manual_error_rate: float = 0.02,
         candidate_pool: int = 6_000,
         workers: int | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.config = config or SimulationConfig.medium()
         self.population = build_population(self.config)
         self.engine = TwitterEngine(self.population)
+        self.fault_plan = fault_plan
+        self.fault_injector: FaultInjector | None = None
+        if fault_plan is not None:
+            self.fault_injector = FaultInjector(
+                fault_plan, seed=self.config.seed
+            )
+            self.engine.install_fault_injector(self.fault_injector)
         self.rest = RestClient(self.engine)
         # A 6-hour Active window: users post in multi-hour bursts, so a
         # recent post predicts the account is still in session — the
@@ -140,12 +161,24 @@ class PseudoHoneypotExperiment:
                 exposure=network.exposure,
                 n_nodes_requested=plan.total_requested,
                 hours=hours,
+                recovery=network.recovery,
             )
             span.set(
                 captures=run.n_captures,
                 node_hours=sum(run.exposure.by_attribute.values()),
                 nodes_requested=plan.total_requested,
             )
+            if network.recovery.degraded:
+                # Only stamped on degraded runs, so fault-free report
+                # artifacts stay byte-identical.
+                span.set(
+                    reconnects=network.recovery.reconnects,
+                    backfilled=network.recovery.backfilled,
+                    lost=network.recovery.lost,
+                    deferred_switches=(
+                        network.recovery.deferred_switches
+                    ),
+                )
         return run
 
     # -- paper phases ----------------------------------------------------
@@ -319,6 +352,7 @@ class PseudoHoneypotExperiment:
                     exposure=network.exposure,
                     n_nodes_requested=network.plan.total_requested,
                     hours=hours,
+                    recovery=network.recovery,
                 )
             span.set(
                 captures=sum(run.n_captures for run in runs.values()),

@@ -41,6 +41,8 @@ class CapturedTweet:
     sample_labels: tuple[str, ...]
     #: User ids of the crossed nodes.
     node_user_ids: tuple[int, ...]
+    #: Recovered via REST after a stream gap, not seen live.
+    backfilled: bool = False
 
     @property
     def sender_id(self) -> int:
@@ -55,6 +57,10 @@ class PseudoHoneypotMonitor:
         self._nodes_by_name: dict[str, HoneypotNode] = {}
         self._hour = 0
         self.captured: list[CapturedTweet] = []
+        #: Tweet ids ever examined — dedups faulty redelivery and
+        #: keeps a reconnect backfill from double-counting tweets the
+        #: stream already delivered live.
+        self._seen_ids: set[int] = set()
         registry = get_registry()
         self._m_captures = registry.counter("network.captures")
         self._m_drops = registry.counter("network.drops")
@@ -75,7 +81,41 @@ class PseudoHoneypotMonitor:
         self._hour = hour
 
     def on_tweet(self, tweet: Tweet) -> None:
-        """Record a matched tweet with its crossing nodes."""
+        """Record a matched tweet with its crossing nodes.
+
+        Idempotent per tweet id: a redelivered tweet (duplicate fault,
+        or live delivery followed by a backfill of the same window) is
+        dropped, so capture counts never double-count.
+        """
+        if tweet.tweet_id in self._seen_ids:
+            # Lazily registered: fault-free runs never see a
+            # duplicate, keeping their metrics snapshot unchanged.
+            get_registry().counter("capture.duplicate_dropped").inc()
+            return
+        self._seen_ids.add(tweet.tweet_id)
+        self._capture(tweet, backfilled=False)
+
+    def backfill(self, tweets: list[Tweet]) -> int:
+        """Ingest gap-recovery tweets fetched over REST.
+
+        Tweets the stream already delivered live are skipped; the
+        rest are captured with ``backfilled=True``.  Returns how many
+        were newly captured (crossing a deployed node).
+        """
+        recovered = 0
+        for tweet in tweets:
+            if tweet.tweet_id in self._seen_ids:
+                continue
+            self._seen_ids.add(tweet.tweet_id)
+            if self._capture(tweet, backfilled=True):
+                recovered += 1
+        if recovered:
+            get_registry().counter("capture.gap_backfilled").inc(
+                recovered
+            )
+        return recovered
+
+    def _capture(self, tweet: Tweet, backfilled: bool) -> bool:
         crossed: list[HoneypotNode] = []
         author_node = self._nodes_by_name.get(tweet.user.screen_name)
         if author_node is not None:
@@ -88,7 +128,7 @@ class PseudoHoneypotMonitor:
             # Matched by the stream filter but no longer crossing a
             # deployed node (e.g. delivered just after a switch).
             self._m_drops.inc()
-            return
+            return False
         category = (
             CaptureCategory.OWN_POST
             if author_node is not None
@@ -106,16 +146,27 @@ class PseudoHoneypotMonitor:
                     dict.fromkeys(n.sample_label for n in crossed)
                 ),
                 node_user_ids=tuple(n.user_id for n in crossed),
+                backfilled=backfilled,
             )
         )
         self._m_captures.inc()
         self._m_by_category[category].inc()
-        self._events.emit(
-            "network.capture",
-            hour=self._hour,
-            category=category.value,
-            n_nodes_crossed=len(crossed),
-        )
+        if backfilled:
+            self._events.emit(
+                "network.capture",
+                hour=self._hour,
+                category=category.value,
+                n_nodes_crossed=len(crossed),
+                backfilled=True,
+            )
+        else:
+            self._events.emit(
+                "network.capture",
+                hour=self._hour,
+                category=category.value,
+                n_nodes_crossed=len(crossed),
+            )
+        return True
 
     def drain(self) -> list[CapturedTweet]:
         """Return and clear the capture buffer."""

@@ -13,13 +13,50 @@ import logging
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from ..faults import RetryPolicy
 from ..obs import get_event_stream, get_registry, trace
+from ..twittersim.api.rest import RestClient
 from ..twittersim.api.streaming import FilteredStream, StreamingClient
 from ..twittersim.engine import TwitterEngine
+from ..twittersim.errors import TwitterSimError
 from .monitor import CapturedTweet, PseudoHoneypotMonitor
 from .selection import AttributeSelector, HoneypotNode, SelectionPlan
 
 log = logging.getLogger("repro.core.network")
+
+
+@dataclass
+class RecoveryLedger:
+    """Degraded-mode accounting of one network's lifetime.
+
+    Every quantity is exact, not sampled: ``lost`` is the number of
+    matches the broken transport counted that no backfill recovered,
+    so ``unique captures + lost`` reconciles with the ground-truth
+    crossing count under any fault schedule.
+    """
+
+    #: Successful stream reconnects after a transport drop.
+    reconnects: int = 0
+    #: Reconnect attempts that exhausted their retry budget.
+    failed_reconnects: int = 0
+    #: Gap tweets recovered via REST search after reconnecting.
+    backfilled: int = 0
+    #: Undelivered matches no backfill recovered.
+    lost: int = 0
+    #: Portability switches postponed because the hour's selection or
+    #: filter update kept failing.
+    deferred_switches: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any fault left a mark on this network."""
+        return bool(
+            self.reconnects
+            or self.failed_reconnects
+            or self.backfilled
+            or self.lost
+            or self.deferred_switches
+        )
 
 
 @dataclass
@@ -50,6 +87,10 @@ class PseudoHoneypotNetwork:
             ``SelectionPlan.full_paper_plan()`` for the 2,400-node
             network).
         switch_every_hours: portability period (paper: 1 hour).
+        retry_policy: governs retries around selection, stream
+            create/update, and gap backfill; defaults to a
+            :class:`repro.faults.RetryPolicy` seeded from the
+            selector's seed.
     """
 
     def __init__(
@@ -58,6 +99,7 @@ class PseudoHoneypotNetwork:
         selector: AttributeSelector,
         plan: SelectionPlan,
         switch_every_hours: int = 1,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if switch_every_hours < 1:
             raise ValueError("switch_every_hours must be >= 1")
@@ -65,9 +107,15 @@ class PseudoHoneypotNetwork:
         self.selector = selector
         self.plan = plan
         self.switch_every_hours = switch_every_hours
+        self.retry = retry_policy or RetryPolicy(
+            seed=getattr(selector, "seed", 0)
+        )
         self.monitor = PseudoHoneypotMonitor()
         self.exposure = ExposureLedger()
+        self.recovery = RecoveryLedger()
         self.current_nodes: list[HoneypotNode] = []
+        self._client: StreamingClient | None = None
+        self._rest: RestClient | None = None
         self._stream: FilteredStream | None = None
         self._hours_since_switch = 0
         self._captures_at_hour_start = 0
@@ -90,18 +138,24 @@ class PseudoHoneypotNetwork:
         Raises:
             RuntimeError: if already deployed.
         """
-        if self.deployed:
+        if self._stream is not None and not self._stream.closed:
             raise RuntimeError("network is already deployed")
         with trace("network.deploy") as span:
-            self.current_nodes = self.selector.select(
-                self.plan, self.engine.clock.now
+            self.current_nodes = self.retry.call(
+                "deploy.select",
+                self.selector.select,
+                self.plan,
+                self.engine.clock.now,
             )
             self.monitor.set_nodes(self.current_nodes, self.engine.clock.hour)
-            client = StreamingClient(self.engine)
-            self._stream = client.filter(
+            self._client = StreamingClient(self.engine)
+            self._stream = self.retry.call(
+                "deploy.filter",
+                self._client.filter,
                 [node.track_term for node in self.current_nodes],
                 listener=self.monitor,
             )
+            self._register_with_injector()
             self._m_nodes_deployed.inc(len(self.current_nodes))
             self._record_selection(span)
             self._events.emit(
@@ -155,18 +209,27 @@ class PseudoHoneypotNetwork:
         ``finish_hour`` on every network.
 
         Raises:
-            RuntimeError: if the network was never deployed.
+            RuntimeError: if the network was never deployed (a broken
+                stream is fine — it is recovered here).
         """
-        if not self.deployed:
+        if self._stream is None or self._stream.closed:
             raise RuntimeError("deploy() the network before running")
+        if self._stream.broken:
+            # A failed reconnect last hour: try again before the hour.
+            self._recover_stream()
         if self._hours_since_switch >= self.switch_every_hours:
-            self._switch_nodes()
+            if self._stream is not None and self._stream.broken:
+                self._defer_switch("stream transport still down")
+            else:
+                self._switch_nodes()
         self.exposure.record_hour(self.current_nodes)
         self._captures_at_hour_start = len(self.monitor.captured)
 
     def finish_hour(self) -> None:
         """Post-hour bookkeeping counterpart of :meth:`prepare_hour`."""
         self._hours_since_switch += 1
+        if self._stream is not None and self._stream.broken:
+            self._recover_stream()
         if len(self.monitor.captured) == self._captures_at_hour_start:
             self._m_empty_hours.inc()
             log.warning(
@@ -192,19 +255,29 @@ class PseudoHoneypotNetwork:
             self.run_hour()
 
     def shutdown(self) -> None:
-        """Disconnect the stream (idempotent)."""
-        if self._stream is not None and self._stream.connected:
-            self._stream.disconnect()
-            self._events.emit(
-                "network.shutdown",
-                hours=self.exposure.hours,
-                captures=len(self.monitor.captured),
-            )
-            log.info(
-                "network shut down after %d monitored hours, %d captures",
-                self.exposure.hours,
-                len(self.monitor.captured),
-            )
+        """Disconnect the stream (idempotent).
+
+        A stream still broken at shutdown is drained first — its gap
+        is backfilled without reconnecting — so the loss accounting
+        stays exact to the last monitored hour.
+        """
+        stream = self._stream
+        if stream is None or stream.closed:
+            return
+        if stream.broken:
+            self._recover_stream(reconnect=False)
+        else:
+            stream.disconnect()
+        self._events.emit(
+            "network.shutdown",
+            hours=self.exposure.hours,
+            captures=len(self.monitor.captured),
+        )
+        log.info(
+            "network shut down after %d monitored hours, %d captures",
+            self.exposure.hours,
+            len(self.monitor.captured),
+        )
 
     @property
     def captured(self) -> list[CapturedTweet]:
@@ -214,14 +287,29 @@ class PseudoHoneypotNetwork:
     def _switch_nodes(self) -> None:
         with trace("network.switch") as span:
             previous = {node.user_id for node in self.current_nodes}
-            self.current_nodes = self.selector.select(
-                self.plan, self.engine.clock.now
-            )
+            # Select and update the stream filter BEFORE committing the
+            # node set: if either step fails past its retry budget the
+            # whole switch is deferred, and tracked names never diverge
+            # from the monitor's deployed nodes.
+            try:
+                nodes = self.retry.call(
+                    "switch.select",
+                    self.selector.select,
+                    self.plan,
+                    self.engine.clock.now,
+                )
+                assert self._stream is not None
+                self.retry.call(
+                    "switch.update_filter",
+                    self._stream.update_filter,
+                    [node.track_term for node in nodes],
+                )
+            except TwitterSimError as exc:
+                self._defer_switch(f"{type(exc).__name__}: {exc}")
+                span.set(deferred=True)
+                return
+            self.current_nodes = nodes
             self.monitor.set_nodes(self.current_nodes, self.engine.clock.hour)
-            assert self._stream is not None
-            self._stream.update_filter(
-                [node.track_term for node in self.current_nodes]
-            )
             self._hours_since_switch = 0
             churn = sum(
                 1
@@ -240,3 +328,143 @@ class PseudoHoneypotNetwork:
                 fill_rate=span.attributes.get("fill_rate", 1.0),
                 node_churn=churn,
             )
+
+    # -- resilience --------------------------------------------------------
+
+    def _defer_switch(self, reason: str) -> None:
+        """Keep the current node set one more hour after a failed switch."""
+        self.recovery.deferred_switches += 1
+        # Stay due: retry the switch at the next prepare_hour.
+        self._hours_since_switch = self.switch_every_hours
+        get_registry().counter("network.switch_deferred").inc()
+        self._events.emit(
+            "network.switch_deferred",
+            hour=self.engine.clock.hour,
+            reason=reason,
+        )
+        log.warning(
+            "portability switch deferred at hour %d (%s); keeping %d "
+            "current nodes",
+            self.engine.clock.hour,
+            reason,
+            len(self.current_nodes),
+        )
+
+    def _recover_stream(self, reconnect: bool = True) -> bool:
+        """Reconnect a broken stream and reconcile its gap.
+
+        Opens a replacement stream on the same filter, closes the
+        broken one, and backfills the gap window ``[disconnected_at,
+        now)`` over REST.  Matches the broken transport counted but no
+        backfill recovered are accounted as ``lost`` — never silently
+        dropped.  With ``reconnect=False`` (shutdown) the gap is
+        reconciled without opening a replacement.
+
+        Returns:
+            False iff a reconnect was requested and failed; the broken
+            stream then stays in counting mode for a later attempt.
+        """
+        stream = self._stream
+        if stream is None or not stream.broken:
+            return True
+        with trace("network.recover") as span:
+            replacement: FilteredStream | None = None
+            if reconnect:
+                assert self._client is not None
+                try:
+                    replacement = self.retry.call(
+                        "recover.filter",
+                        self._client.filter,
+                        [node.track_term for node in self.current_nodes],
+                        listener=self.monitor,
+                    )
+                except TwitterSimError as exc:
+                    self.recovery.failed_reconnects += 1
+                    get_registry().counter(
+                        "stream.reconnect_failed"
+                    ).inc()
+                    self._events.emit(
+                        "stream.reconnect_failed",
+                        hour=self.engine.clock.hour,
+                        error=type(exc).__name__,
+                    )
+                    span.set(reconnected=False)
+                    log.warning(
+                        "stream reconnect failed at hour %d (%s); "
+                        "staying in counting mode",
+                        self.engine.clock.hour,
+                        exc,
+                    )
+                    return False
+            undelivered = stream.undelivered_matches
+            gap_start = stream.disconnected_at
+            now = self.engine.clock.now
+            stream.disconnect()
+            self._stream = replacement
+            backfilled = 0
+            if undelivered and gap_start is not None:
+                tweets = []
+                try:
+                    tweets = self.retry.call(
+                        "recover.search",
+                        self._rest_client().search_crossing,
+                        [n.screen_name for n in self.current_nodes],
+                        since=gap_start,
+                        until=now,
+                    )
+                except TwitterSimError as exc:
+                    log.warning(
+                        "gap backfill search failed (%s); %d matches "
+                        "written off as lost",
+                        exc,
+                        undelivered,
+                    )
+                backfilled = self.monitor.backfill(tweets)
+            lost = max(0, undelivered - backfilled)
+            registry = get_registry()
+            if reconnect:
+                self.recovery.reconnects += 1
+                registry.counter("stream.reconnect").inc()
+            self.recovery.backfilled += backfilled
+            self.recovery.lost += lost
+            if lost:
+                registry.counter("capture.lost").inc(lost)
+            span.set(
+                undelivered=undelivered,
+                backfilled=backfilled,
+                lost=lost,
+                reconnected=replacement is not None,
+            )
+            self._events.emit(
+                "stream.reconnect",
+                hour=self.engine.clock.hour,
+                gap_start=round(gap_start or 0.0, 3),
+                undelivered=undelivered,
+                backfilled=backfilled,
+                lost=lost,
+                reconnected=replacement is not None,
+            )
+            log.info(
+                "stream recovered at hour %d: %d undelivered, "
+                "%d backfilled, %d lost",
+                self.engine.clock.hour,
+                undelivered,
+                backfilled,
+                lost,
+            )
+        return True
+
+    def _register_with_injector(self) -> None:
+        """Expose the live node ids to an installed fault injector."""
+        injector = self.engine.fault_injector
+        if injector is not None:
+            injector.node_ids_provider = lambda: [
+                node.user_id for node in self.current_nodes
+            ]
+
+    def _rest_client(self) -> RestClient:
+        # Created lazily: fault-free runs never construct it, so their
+        # RNG/obs footprint stays byte-identical to before.
+        if self._rest is None:
+            self._rest = RestClient(self.engine)
+        return self._rest

@@ -173,6 +173,7 @@ class AttributeSelector:
         self.tolerance = tolerance
         self.activity = activity
         self.recent_limit = recent_limit
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
         self.last_report: SelectionReport | None = None
 

@@ -1,4 +1,4 @@
-"""Determinism rules (RPL001-RPL005).
+"""Determinism rules (RPL001-RPL006).
 
 The headline numbers (Table III deltas, the 9.37x PGE advantage, the
 RF cross-validation scores) are only claims if a rerun reproduces them
@@ -222,6 +222,36 @@ class ThreadedSeedRule(FileRule):
                 "default_rng(...) seed is not threaded from a "
                 "seed/rng parameter or attribute",
             )
+
+
+class NoBareSleepRule(FileRule):
+    """RPL006: retry/backoff code must not call ``time.sleep``."""
+
+    id = "RPL006"
+    name = "no-bare-sleep"
+    category = "determinism"
+    description = (
+        "time.sleep() in library code stalls the host without "
+        "advancing simulation time, and a hand-rolled retry loop "
+        "around it bypasses the seeded-jitter accounting the chaos "
+        "harness relies on; backoff must flow through "
+        "repro.faults.RetryPolicy."
+    )
+    fix_hint = (
+        "Wrap the transient call in RetryPolicy.call(...); a policy "
+        "accounts (virtual) backoff deterministically, and callers "
+        "against a live platform can opt into real sleeping via its "
+        "`sleeper` hook."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_deterministic_scope()
+
+    def visit_Call(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterable[Finding]:
+        if call_name(ctx, node) == "time.sleep":
+            yield self.finding(ctx, node, "bare `time.sleep()` call")
 
 
 class NoBuiltinHashRule(FileRule):

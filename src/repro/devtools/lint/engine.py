@@ -22,6 +22,7 @@ from .base import (
     build_import_maps,
 )
 from .determinism import (
+    NoBareSleepRule,
     NoBuiltinHashRule,
     NoStdlibRandomRule,
     NoWallClockRule,
@@ -51,6 +52,7 @@ ALL_RULES: tuple[Rule, ...] = (
     SeededRngRule(),
     ThreadedSeedRule(),
     NoBuiltinHashRule(),
+    NoBareSleepRule(),
     SchemaShapeRule(),
     KnownFeatureNameRule(),
     SpanLabelRule(),

@@ -34,6 +34,9 @@ NAMESPACES = (
     "ml",
     "experiment",
     "parallel",
+    "faults",
+    "stream",
+    "capture",
 )
 TAXONOMY_RE = re.compile(
     r"^(?:%s)\.[a-z0-9_]+(?:\.[a-z0-9_]+)*$" % "|".join(NAMESPACES)

@@ -1,0 +1,37 @@
+"""Deterministic fault injection + retry (the chaos harness core).
+
+Three pieces:
+
+* :class:`FaultPlan` / :class:`ScheduledFault` — a seeded, serializable
+  schedule of platform failures (:class:`FaultKind`);
+* :class:`FaultInjector` — executes a plan against the simulator's API
+  layers (stream drops, filter rejections, REST errors, duplicated and
+  out-of-order delivery, node suspensions);
+* :class:`RetryPolicy` / :class:`BackoffConfig` — the sanctioned retry
+  primitive: bounded attempts, exponential backoff, seeded jitter.
+
+The monitoring layer (``repro.core.network``) wires these together so
+a pseudo-honeypot run survives any plan with exact loss accounting;
+``tests/chaos/`` asserts the invariants.
+"""
+
+from .injector import DeliveryAction, FaultInjector
+from .plan import (
+    BASE_PROBABILITIES,
+    FaultKind,
+    FaultPlan,
+    ScheduledFault,
+)
+from .retry import DEFAULT_RETRYABLE, BackoffConfig, RetryPolicy
+
+__all__ = [
+    "BASE_PROBABILITIES",
+    "BackoffConfig",
+    "DEFAULT_RETRYABLE",
+    "DeliveryAction",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "RetryPolicy",
+    "ScheduledFault",
+]

@@ -1,0 +1,173 @@
+"""Seeded retry with exponential backoff (the resilience half).
+
+``RetryPolicy`` is the single sanctioned retry primitive of the
+pipeline: bounded attempts, exponential backoff with *seeded* jitter,
+and per-error-class overrides.  Delays are accounted in
+``total_backoff_s`` rather than slept — simulation time is the
+engine's clock, so sleeping the host would be both slow and
+meaningless.  Callers that really operate against a live platform can
+pass a ``sleeper`` hook (e.g. ``time.sleep``); library code must not
+call ``time.sleep`` directly (lint rule RPL006).
+
+The jitter generator is drawn from only when a retry actually fires,
+so a policy attached to a fault-free run consumes no entropy and the
+run stays byte-identical to one with no policy at all.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+import numpy as np
+
+from ..obs import get_event_stream, get_registry
+from ..twittersim.errors import (
+    FilterLimitError,
+    NetworkTimeoutError,
+    RateLimitError,
+)
+
+T = TypeVar("T")
+
+log = logging.getLogger("repro.faults.retry")
+
+#: Error classes that are transient by nature and safe to retry.
+DEFAULT_RETRYABLE = (
+    RateLimitError,
+    NetworkTimeoutError,
+    FilterLimitError,
+)
+
+
+@dataclass(frozen=True)
+class BackoffConfig:
+    """Shape of one exponential-backoff schedule.
+
+    ``delay(n) = min(base_delay_s * multiplier**(n-1), max_delay_s)``,
+    then scaled by ``1 + jitter * U[0, 1)``.
+    """
+
+    max_attempts: int = 6
+    base_delay_s: float = 2.0
+    multiplier: float = 2.0
+    max_delay_s: float = 120.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.jitter < 0.0:
+            raise ValueError("jitter must be >= 0")
+
+    def delay_for(self, attempt: int) -> float:
+        """The un-jittered delay after failed attempt ``attempt``."""
+        return min(
+            self.base_delay_s * self.multiplier ** (attempt - 1),
+            self.max_delay_s,
+        )
+
+
+class RetryPolicy:
+    """Bounded, seeded retry around transient platform errors.
+
+    Args:
+        seed: derives the jitter stream (shared seed plumbing).
+        default: backoff shape for any retryable error without a
+            specific override.
+        per_error: overrides keyed by exception type; matched by
+            ``isinstance`` in insertion order.
+        retryable: exception classes worth retrying at all — anything
+            else propagates immediately.
+        sleeper: optional hook called with each backoff delay; left
+            unset, delays are only accounted (virtual time).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        default: BackoffConfig | None = None,
+        per_error: dict[type, BackoffConfig] | None = None,
+        retryable: tuple[type, ...] = DEFAULT_RETRYABLE,
+        sleeper: Callable[[float], None] | None = None,
+    ) -> None:
+        self.default = default or BackoffConfig()
+        self.per_error = dict(per_error or {})
+        self.retryable = retryable
+        self.sleeper = sleeper
+        self._rng = np.random.default_rng(seed + 0x3E77)
+        #: Total virtual backoff accounted so far, in seconds.
+        self.total_backoff_s = 0.0
+        #: Total retries fired (not counting first attempts).
+        self.retries = 0
+
+    def config_for(self, error: BaseException) -> BackoffConfig:
+        """The backoff shape governing one caught error."""
+        for error_type, config in self.per_error.items():
+            if isinstance(error, error_type):
+                return config
+        return self.default
+
+    def call(
+        self,
+        op: str,
+        fn: Callable[..., T],
+        *args: object,
+        **kwargs: object,
+    ) -> T:
+        """Run ``fn`` under this policy; re-raise on exhaustion.
+
+        Args:
+            op: short operation label recorded on retry events
+                (e.g. ``"deploy.filter"``).
+        """
+        attempt = 1
+        while True:
+            try:
+                return fn(*args, **kwargs)
+            except self.retryable as exc:
+                config = self.config_for(exc)
+                if attempt >= config.max_attempts:
+                    log.warning(
+                        "retry budget exhausted for %s after %d "
+                        "attempts (%s)",
+                        op,
+                        attempt,
+                        type(exc).__name__,
+                    )
+                    raise
+                delay = config.delay_for(attempt) * (
+                    1.0 + config.jitter * float(self._rng.random())
+                )
+                self.total_backoff_s += delay
+                self.retries += 1
+                self._record(op, exc, attempt, delay)
+                if self.sleeper is not None:
+                    self.sleeper(delay)
+                attempt += 1
+
+    def _record(
+        self, op: str, exc: BaseException, attempt: int, delay: float
+    ) -> None:
+        # Lazily resolved: a policy that never retries registers no
+        # instrument, keeping fault-free report artifacts unchanged.
+        get_registry().counter("network.retries").inc()
+        get_event_stream().emit(
+            "network.retry",
+            op=op,
+            error=type(exc).__name__,
+            attempt=attempt,
+            backoff_s=round(delay, 3),
+        )
+        log.debug(
+            "retrying %s after %s (attempt %d, backoff %.2fs)",
+            op,
+            type(exc).__name__,
+            attempt,
+            delay,
+        )

@@ -33,6 +33,13 @@ Span taxonomy (dotted, one namespace per layer):
                  ``parallel.map`` span per fan-out with a
                  ``parallel.chunk`` child per worker chunk, carrying
                  the worker-side spans merged back into the parent
+``faults.*``     injected chaos (``repro.faults``): per-kind
+                 ``faults.injected`` counters and events
+``stream.*``     stream transport recovery: ``stream.reconnect`` /
+                 ``stream.reconnect_failed``
+``capture.*``    degraded-mode capture accounting:
+                 ``capture.gap_backfilled``, ``capture.lost``,
+                 ``capture.duplicate_dropped``
 
 Everything is resettable (``reset()``) for test isolation and cheaply
 disableable (``set_enabled(False)``) so instrumented hot paths cost a

@@ -83,6 +83,14 @@ class RestClient:
             engine.population.config.seed + 0x5EED
         )
 
+    def _gate(self, limit: EndpointLimit) -> None:
+        """Per-call gate: the rate limiter, then any injected fault."""
+        now = self._engine.clock.now
+        self._limiter.check(limit, now)
+        injector = self._engine.fault_injector
+        if injector is not None:
+            injector.check_rest_call(limit.name, now)
+
     # ------------------------------------------------------------------
 
     def get_user(self, user_id: int) -> UserProfile:
@@ -93,7 +101,7 @@ class RestClient:
             UserSuspendedError: the account is suspended.
             RateLimitError: the users/show window is exhausted.
         """
-        self._limiter.check(self.USERS_SHOW, self._engine.clock.now)
+        self._gate(self.USERS_SHOW)
         account = self._engine.population.accounts.get(user_id)
         if account is None:
             raise UserNotFoundError(f"no user with id {user_id}")
@@ -115,7 +123,7 @@ class RestClient:
             raise ValueError(
                 f"lookup_users accepts at most {self.LOOKUP_BATCH} ids"
             )
-        self._limiter.check(self.USERS_LOOKUP, self._engine.clock.now)
+        self._gate(self.USERS_LOOKUP)
         profiles = []
         for user_id in user_ids:
             account = self._engine.population.accounts.get(user_id)
@@ -141,7 +149,7 @@ class RestClient:
         the pseudo-honeypot selection layer screens these candidates
         against its attribute criteria.
         """
-        self._limiter.check(self.USERS_SAMPLE, self._engine.clock.now)
+        self._gate(self.USERS_SAMPLE)
         live = self._engine.population.live_ids()
         if n >= len(live):
             return list(live)
@@ -155,7 +163,7 @@ class RestClient:
             UserNotFoundError: unknown id.
             UserSuspendedError: the account is suspended.
         """
-        self._limiter.check(self.USER_TIMELINE, self._engine.clock.now)
+        self._gate(self.USER_TIMELINE)
         account = self._engine.population.accounts.get(user_id)
         if account is None:
             raise UserNotFoundError(f"no user with id {user_id}")
@@ -173,7 +181,7 @@ class RestClient:
 
         Returns the newest matching tweets first, up to ``limit``.
         """
-        self._limiter.check(self.SEARCH_TWEETS, self._engine.clock.now)
+        self._gate(self.SEARCH_TWEETS)
         matches: list[Tweet] = []
         for tweet in reversed(list(self._engine.recent_tweets())):
             if hashtag is not None and hashtag not in tweet.hashtags:
@@ -193,9 +201,42 @@ class RestClient:
         hashtag — the same pattern a real deployment uses to stay
         inside search rate limits.
         """
-        self._limiter.check(self.SEARCH_TWEETS, self._engine.clock.now)
+        self._gate(self.SEARCH_TWEETS)
         index = list(self._engine.recent_tweets())
         return index[-limit:]
+
+    def search_crossing(
+        self,
+        screen_names: list[str],
+        since: float | None = None,
+        until: float | None = None,
+        limit: int = 10_000,
+    ) -> list[Tweet]:
+        """Recent tweets crossing any of the given accounts.
+
+        A *crossing* tweet is authored by one of the accounts or
+        @-mentions one — exactly the filtered stream's match predicate
+        — so a monitoring client can backfill a stream gap with one
+        ``search/tweets`` sweep over ``[since, until)``.  Bounded by
+        the platform's recent-tweet retention; results are oldest
+        first, capped at ``limit``.
+        """
+        self._gate(self.SEARCH_TWEETS)
+        names = set(screen_names)
+        matches: list[Tweet] = []
+        for tweet in self._engine.recent_tweets():
+            if since is not None and tweet.created_at < since:
+                continue
+            if until is not None and tweet.created_at >= until:
+                continue
+            if tweet.user.screen_name in names or any(
+                mention.screen_name in names
+                for mention in tweet.mentions
+            ):
+                matches.append(tweet)
+                if len(matches) >= limit:
+                    break
+        return matches
 
     def get_profile_image(self, image_id: int) -> np.ndarray:
         """Fetch profile-image pixels (public avatar download).

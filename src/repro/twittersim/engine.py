@@ -102,6 +102,8 @@ class TwitterEngine:
         self.topic_process = TopicProcess(topics, self.rng)
         self.trending = TrendingTracker()
         self._subscribers: list[TweetCallback] = []
+        #: Installed chaos-harness hook (see install_fault_injector).
+        self.fault_injector = None
         self._pending_replies: list[_PendingReply] = []
         self._recent_posts: deque[Tweet] = deque()
         self._search_index: deque[Tweet] = deque(maxlen=self.SEARCH_INDEX_CAP)
@@ -156,6 +158,17 @@ class TwitterEngine:
         """Register a firehose subscriber (used by the streaming API)."""
         self._subscribers.append(callback)
 
+    def install_fault_injector(self, injector) -> None:
+        """Attach a :class:`repro.faults.FaultInjector` to this world.
+
+        Newly opened filtered streams and the gated REST endpoints
+        consult the injector, and :meth:`run_hour` calls its
+        ``begin_hour``/``end_hour`` hooks.  The injector draws from its
+        own generator, so installing one with an empty plan leaves the
+        run byte-identical to an uninstrumented one.
+        """
+        self.fault_injector = injector
+
     def unsubscribe(self, callback: TweetCallback) -> None:
         """Remove a firehose subscriber."""
         self._subscribers.remove(callback)
@@ -203,6 +216,8 @@ class TwitterEngine:
         t0 = self.clock.now
         t_end = t0 + SECONDS_PER_HOUR
         stats = HourStats(hour=hour)
+        if self.fault_injector is not None:
+            self.fault_injector.begin_hour(self)
         self._refresh_trending(hour)
 
         emitted: list[Tweet] = []
@@ -222,6 +237,8 @@ class TwitterEngine:
             for callback in self._subscribers:
                 callback(tweet)
 
+        if self.fault_injector is not None:
+            self.fault_injector.end_hour(self)
         self._expire_recent_posts(t_end)
         self.clock.advance_to(t_end)
         self.hour_stats.append(stats)

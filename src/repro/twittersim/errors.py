@@ -33,6 +33,15 @@ class UserSuspendedError(TwitterSimError):
     """Raised when a REST lookup references a suspended account."""
 
 
+class NetworkTimeoutError(TwitterSimError):
+    """Raised when a REST request times out at the transport layer.
+
+    Transient by definition: the same request retried a moment later
+    may succeed, which is exactly what :class:`repro.faults.retry.
+    RetryPolicy` models.
+    """
+
+
 class StreamDisconnectedError(TwitterSimError):
     """Raised when reading from a stream whose connection was closed."""
 

@@ -1,0 +1,212 @@
+"""Shared chaos-harness strategies: seeded worlds + reconciliation.
+
+The harness runs a real pseudo-honeypot network against a world with a
+:class:`~repro.faults.FaultInjector` installed, while a
+:class:`CrossingRecorder` taps the engine firehose directly — the
+injector only perturbs what the *client* sees, never the firehose — to
+compute the ground truth the monitor owes.  The central invariant every
+chaos test asserts (:meth:`ChaosRun.assert_reconciled`):
+
+    unique captures (live + backfilled)  +  lost  ==  ground truth
+
+i.e. under any fault schedule each crossing tweet is captured exactly
+once or explicitly written off — never silently dropped or
+double-counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.core.network import PseudoHoneypotNetwork
+from repro.core.portability import ActivityPolicy
+from repro.core.selection import AttributeSelector, SelectionPlan
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+from repro.twittersim.api.rest import RestClient
+from repro.twittersim.config import SimulationConfig
+from repro.twittersim.engine import TwitterEngine
+from repro.twittersim.entities import Tweet
+from repro.twittersim.population import build_population
+
+#: Unmonitored hours before deploy (trending/timelines populate).
+WARM_UP_HOURS = 2
+
+
+class CrossingRecorder:
+    """Firehose tap computing the monitor's ground truth.
+
+    Subscribed directly to the engine — upstream of any injected
+    stream fault — it records every tweet crossing the network's
+    *current* node set at delivery time: exactly the tweets a
+    fault-free monitor would capture once each.
+    """
+
+    def __init__(
+        self, names_provider: Callable[[], set[str]]
+    ) -> None:
+        self._names_provider = names_provider
+        self.tweet_ids: list[int] = []
+
+    def __call__(self, tweet: Tweet) -> None:
+        names = self._names_provider()
+        if tweet.user.screen_name in names or any(
+            m.screen_name in names for m in tweet.mentions
+        ):
+            self.tweet_ids.append(tweet.tweet_id)
+
+    @property
+    def count(self) -> int:
+        return len(self.tweet_ids)
+
+
+@dataclass
+class ChaosRun:
+    """One completed faulted run plus everything needed to audit it."""
+
+    engine: TwitterEngine
+    network: PseudoHoneypotNetwork
+    recorder: CrossingRecorder
+    injector: FaultInjector
+    plan: FaultPlan
+    seed: int
+
+    @property
+    def captured_ids(self) -> list[int]:
+        """Tweet ids of every capture, in capture order."""
+        return [
+            c.tweet.tweet_id for c in self.network.monitor.captured
+        ]
+
+    @property
+    def backfilled_ids(self) -> list[int]:
+        """Tweet ids recovered over REST rather than seen live."""
+        return [
+            c.tweet.tweet_id
+            for c in self.network.monitor.captured
+            if c.backfilled
+        ]
+
+    def assert_no_double_count(self) -> None:
+        ids = self.captured_ids
+        assert len(ids) == len(set(ids)), (
+            f"double-counted captures under plan (seed={self.seed}): "
+            f"{len(ids) - len(set(ids))} repeats"
+        )
+
+    def assert_reconciled(self) -> None:
+        """Captured + lost must equal the firehose ground truth."""
+        self.assert_no_double_count()
+        captured = set(self.captured_ids)
+        truth = set(self.recorder.tweet_ids)
+        assert captured <= truth, (
+            f"captured tweets outside the ground truth "
+            f"(seed={self.seed}): {sorted(captured - truth)[:5]}"
+        )
+        lost = self.network.recovery.lost
+        assert len(captured) + lost == len(truth), (
+            f"capture accounting does not reconcile "
+            f"(seed={self.seed}): {len(captured)} captured + "
+            f"{lost} lost != {len(truth)} ground truth"
+        )
+
+
+def run_faulted_network(
+    seed: int,
+    plan: FaultPlan,
+    hours: int = 6,
+    warm_up_hours: int = WARM_UP_HOURS,
+    retry_policy: RetryPolicy | None = None,
+    switch_every_hours: int = 1,
+    n_targets: int = 4,
+    per_value: int = 3,
+) -> ChaosRun:
+    """Deploy a small network on a faulted world and run it to the end.
+
+    Builds a tiny world seeded by ``seed``, installs a
+    :class:`FaultInjector` executing ``plan``, deploys an
+    attribute-selected network, taps the firehose with a
+    :class:`CrossingRecorder`, runs ``hours`` monitored hours, and
+    shuts down (draining any still-broken stream).
+    """
+    config = SimulationConfig.small(seed=seed)
+    population = build_population(config)
+    engine = TwitterEngine(population)
+    injector = FaultInjector(plan, seed=seed)
+    engine.install_fault_injector(injector)
+    engine.run_hours(warm_up_hours)
+    rest = RestClient(engine)
+    selector = AttributeSelector(
+        rest,
+        candidate_pool=400,
+        activity=ActivityPolicy(window_hours=6.0),
+        seed=seed,
+    )
+    network = PseudoHoneypotNetwork(
+        engine,
+        selector,
+        SelectionPlan.random_plan(n_targets, per_value, seed=seed + 17),
+        switch_every_hours=switch_every_hours,
+        retry_policy=retry_policy,
+    )
+    network.deploy()
+    recorder = CrossingRecorder(
+        lambda: {node.screen_name for node in network.current_nodes}
+    )
+    engine.subscribe(recorder)
+    network.run_hours(hours)
+    network.shutdown()
+    engine.unsubscribe(recorder)
+    return ChaosRun(
+        engine=engine,
+        network=network,
+        recorder=recorder,
+        injector=injector,
+        plan=plan,
+        seed=seed,
+    )
+
+
+def sweep(
+    seeds: Iterable[int],
+    plans_per_seed: int = 1,
+    hours: int = 5,
+    intensity: float = 1.5,
+) -> list[ChaosRun]:
+    """Satellite seed-sweep: N seeds x M random fault plans each.
+
+    For every (seed, plan) pair runs the faulted network, asserts
+    dedup idempotence and capture-count reconciliation, and returns
+    the audited runs for further inspection.
+    """
+    runs: list[ChaosRun] = []
+    for seed in seeds:
+        for variant in range(plans_per_seed):
+            plan = FaultPlan.random_plan(
+                seed * 1000 + variant,
+                start_hour=WARM_UP_HOURS,
+                n_hours=hours,
+                intensity=intensity,
+            )
+            run = run_faulted_network(
+                seed=seed, plan=plan, hours=hours
+            )
+            run.assert_reconciled()
+            assert_dedup_idempotent(run)
+            runs.append(run)
+    return runs
+
+
+def assert_dedup_idempotent(run: ChaosRun) -> None:
+    """Replaying every capture through the monitor changes nothing."""
+    monitor = run.network.monitor
+    before = list(run.captured_ids)
+    for capture in list(monitor.captured):
+        monitor.on_tweet(capture.tweet)
+    recovered = monitor.backfill(
+        [capture.tweet for capture in monitor.captured]
+    )
+    assert recovered == 0
+    assert run.captured_ids == before, (
+        f"monitor dedup is not idempotent (seed={run.seed})"
+    )

@@ -1,0 +1,169 @@
+"""Chaos invariants: the monitoring layer survives any fault plan.
+
+The headline suite: seeded random fault schedules run against real
+networks, and every run must (a) complete without crashing, (b) never
+double-count a capture, (c) reconcile ``captured + lost`` exactly with
+the firehose ground truth, and (d) surface its recovery actions
+through the observability layer.  A zero-fault plan must leave a run
+byte-identical to one with no fault machinery installed at all.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.experiment import PseudoHoneypotExperiment
+from repro.core.selection import SelectionPlan
+from repro.faults import FaultKind, FaultPlan
+from repro.obs import get_event_stream, get_registry, reset, set_enabled
+from repro.twittersim.config import SimulationConfig
+
+from tests.chaos.strategies import (
+    WARM_UP_HOURS,
+    assert_dedup_idempotent,
+    run_faulted_network,
+    sweep,
+)
+
+#: The seeded fault schedules of the sweep (acceptance: >= 5).
+SWEEP_SEEDS = (3, 11, 23, 41, 57)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    reset()
+    set_enabled(True)
+    yield
+    reset()
+
+
+class TestSeededFaultSweep:
+    @pytest.mark.parametrize("seed", SWEEP_SEEDS)
+    def test_invariants_hold_under_random_plan(self, seed):
+        plan = FaultPlan.random_plan(
+            seed, start_hour=WARM_UP_HOURS, n_hours=5, intensity=1.5
+        )
+        assert not plan.is_empty
+        run = run_faulted_network(seed=seed, plan=plan, hours=5)
+        run.assert_reconciled()
+        assert_dedup_idempotent(run)
+        # Faults were actually exercised, not scheduled into a void.
+        assert run.injector.injected_counts
+        counters = get_registry().snapshot()["counters"]
+        assert counters["faults.injected"] == sum(
+            run.injector.injected_counts.values()
+        )
+
+    def test_sweep_helper_covers_seeds_by_plans(self):
+        runs = sweep(seeds=(5, 19), plans_per_seed=2, hours=4)
+        assert len(runs) == 4
+        # The sweep exercised a diverse set of fault kinds overall.
+        kinds = set()
+        for run in runs:
+            kinds.update(run.injector.injected_counts)
+        assert len(kinds) >= 3
+
+    def test_recovery_is_observable(self):
+        """A disconnecting run reports its recovery, not just survival."""
+        plan = FaultPlan.random_plan(
+            8,
+            start_hour=WARM_UP_HOURS,
+            n_hours=5,
+            intensity=2.0,
+            kinds=(FaultKind.STREAM_DISCONNECT,),
+        )
+        run = run_faulted_network(seed=8, plan=plan, hours=5)
+        run.assert_reconciled()
+        assert run.network.recovery.reconnects > 0
+        assert run.network.recovery.degraded
+        events = get_event_stream()
+        reconnects = events.events("stream.reconnect")
+        assert len(reconnects) == run.network.recovery.reconnects
+        assert {"undelivered", "backfilled", "lost"} <= set(
+            reconnects[0].attributes
+        )
+        counters = get_registry().snapshot()["counters"]
+        assert (
+            counters["stream.reconnect"]
+            == run.network.recovery.reconnects
+        )
+        if run.network.recovery.backfilled:
+            assert (
+                counters["capture.gap_backfilled"]
+                == run.network.recovery.backfilled
+            )
+
+
+def _run_experiment(seed: int, fault_plan: FaultPlan | None):
+    """One tiny experiment run; returns (captures, normalized report)."""
+    reset()
+    set_enabled(True)
+    experiment = PseudoHoneypotExperiment(
+        SimulationConfig.small(seed=seed),
+        candidate_pool=400,
+        fault_plan=fault_plan,
+    )
+    experiment.warm_up(WARM_UP_HOURS)
+    run = experiment.run_plan(
+        SelectionPlan.random_plan(4, 3, seed=seed + 17), hours=4
+    )
+    report = experiment.export_report()
+    return run, report
+
+
+class TestZeroFaultByteIdentity:
+    """An empty plan must be indistinguishable from no plan at all."""
+
+    def test_empty_plan_run_is_byte_identical(self):
+        baseline_run, baseline_report = _run_experiment(5, None)
+        inert_run, inert_report = _run_experiment(5, FaultPlan.none())
+        assert [
+            c.tweet.tweet_id for c in baseline_run.captures
+        ] == [c.tweet.tweet_id for c in inert_run.captures]
+        assert [
+            c.capture_category for c in baseline_run.captures
+        ] == [c.capture_category for c in inert_run.captures]
+        assert not any(c.backfilled for c in inert_run.captures)
+        assert not inert_run.recovery.degraded
+        baseline_json = json.dumps(
+            baseline_report.normalized().to_dict(), sort_keys=True
+        )
+        inert_json = json.dumps(
+            inert_report.normalized().to_dict(), sort_keys=True
+        )
+        assert baseline_json == inert_json
+
+    def test_transport_faults_never_perturb_ground_truth(self):
+        """Same seed, stream-side plan: the firehose is untouched.
+
+        Stream faults live entirely on the consumer side — the world,
+        the selector draws, and therefore the ground truth are all
+        identical to a fault-free run; only *delivery* differs, and
+        the recovery accounting closes that delivery gap exactly.
+        """
+        plan = FaultPlan.random_plan(
+            5,
+            start_hour=WARM_UP_HOURS,
+            n_hours=4,
+            intensity=2.0,
+            kinds=(
+                FaultKind.STREAM_DISCONNECT,
+                FaultKind.DUPLICATE_DELIVERY,
+                FaultKind.OUT_OF_ORDER,
+            ),
+        )
+        assert not plan.is_empty
+        baseline = run_faulted_network(
+            seed=5, plan=FaultPlan.none(), hours=4
+        )
+        faulted = run_faulted_network(seed=5, plan=plan, hours=4)
+        baseline.assert_reconciled()
+        faulted.assert_reconciled()
+        assert baseline.recorder.tweet_ids == faulted.recorder.tweet_ids
+        assert baseline.network.recovery.lost == 0
+        assert set(faulted.captured_ids) <= set(baseline.captured_ids)
+        assert len(set(faulted.captured_ids)) + (
+            faulted.network.recovery.lost
+        ) == len(set(baseline.captured_ids))

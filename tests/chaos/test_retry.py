@@ -1,0 +1,151 @@
+"""RetryPolicy: backoff math, seeded jitter, and exhaustion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import BackoffConfig, RetryPolicy
+from repro.twittersim.errors import (
+    NetworkTimeoutError,
+    RateLimitError,
+    UserNotFoundError,
+)
+
+
+class Flaky:
+    """Callable failing ``n_failures`` times before succeeding."""
+
+    def __init__(self, n_failures: int, error: Exception) -> None:
+        self.n_failures = n_failures
+        self.error = error
+        self.calls = 0
+
+    def __call__(self) -> str:
+        self.calls += 1
+        if self.calls <= self.n_failures:
+            raise self.error
+        return "ok"
+
+
+class TestBackoffConfig:
+    def test_delay_grows_exponentially_then_caps(self):
+        config = BackoffConfig(
+            base_delay_s=1.0, multiplier=2.0, max_delay_s=5.0
+        )
+        assert config.delay_for(1) == 1.0
+        assert config.delay_for(2) == 2.0
+        assert config.delay_for(3) == 4.0
+        assert config.delay_for(4) == 5.0  # capped
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_s": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            BackoffConfig(**kwargs)
+
+
+class TestRetryPolicy:
+    def test_first_try_success_accounts_nothing(self):
+        policy = RetryPolicy(seed=1)
+        assert policy.call("op", lambda: 42) == 42
+        assert policy.retries == 0
+        assert policy.total_backoff_s == 0.0
+
+    def test_retries_until_success(self):
+        policy = RetryPolicy(seed=1)
+        flaky = Flaky(2, NetworkTimeoutError("t"))
+        assert policy.call("op", flaky) == "ok"
+        assert flaky.calls == 3
+        assert policy.retries == 2
+        assert policy.total_backoff_s > 0.0
+
+    def test_exhaustion_reraises_original_error(self):
+        policy = RetryPolicy(
+            seed=1, default=BackoffConfig(max_attempts=3)
+        )
+        flaky = Flaky(99, RateLimitError("rl", reset_at=0.0))
+        with pytest.raises(RateLimitError):
+            policy.call("op", flaky)
+        assert flaky.calls == 3
+        assert policy.retries == 2
+
+    def test_non_retryable_propagates_immediately(self):
+        policy = RetryPolicy(seed=1)
+        flaky = Flaky(1, UserNotFoundError("gone"))
+        with pytest.raises(UserNotFoundError):
+            policy.call("op", flaky)
+        assert flaky.calls == 1
+        assert policy.retries == 0
+
+    def test_max_attempts_one_never_retries(self):
+        policy = RetryPolicy(
+            seed=1, default=BackoffConfig(max_attempts=1)
+        )
+        with pytest.raises(NetworkTimeoutError):
+            policy.call("op", Flaky(1, NetworkTimeoutError("t")))
+        assert policy.retries == 0
+
+    def test_per_error_override_wins(self):
+        policy = RetryPolicy(
+            seed=1,
+            default=BackoffConfig(max_attempts=5),
+            per_error={RateLimitError: BackoffConfig(max_attempts=2)},
+        )
+        rate_limited = Flaky(99, RateLimitError("rl", reset_at=0.0))
+        with pytest.raises(RateLimitError):
+            policy.call("op", rate_limited)
+        assert rate_limited.calls == 2
+        timed_out = Flaky(3, NetworkTimeoutError("t"))
+        assert policy.call("op", timed_out) == "ok"
+
+    def test_config_for_matches_by_isinstance(self):
+        override = BackoffConfig(max_attempts=2)
+        policy = RetryPolicy(
+            seed=1, per_error={RateLimitError: override}
+        )
+        assert (
+            policy.config_for(RateLimitError("x", reset_at=0.0))
+            is override
+        )
+        assert (
+            policy.config_for(NetworkTimeoutError("y"))
+            is policy.default
+        )
+
+    def test_jitter_is_seeded(self):
+        def total(seed: int) -> float:
+            policy = RetryPolicy(seed=seed)
+            policy.call("op", Flaky(3, NetworkTimeoutError("t")))
+            return policy.total_backoff_s
+
+        assert total(7) == total(7)
+        assert total(7) != total(8)
+
+    def test_jittered_delay_stays_in_band(self):
+        config = BackoffConfig(
+            max_attempts=2,
+            base_delay_s=10.0,
+            multiplier=1.0,
+            jitter=0.25,
+        )
+        policy = RetryPolicy(seed=3, default=config)
+        policy.call("op", Flaky(1, NetworkTimeoutError("t")))
+        assert 10.0 <= policy.total_backoff_s <= 12.5
+
+    def test_sleeper_hook_receives_delays(self):
+        slept: list[float] = []
+        policy = RetryPolicy(seed=2, sleeper=slept.append)
+        policy.call("op", Flaky(2, NetworkTimeoutError("t")))
+        assert len(slept) == 2
+        assert sum(slept) == policy.total_backoff_s
+
+    def test_args_forwarded(self):
+        policy = RetryPolicy(seed=1)
+        assert policy.call("op", lambda a, b=0: a + b, 2, b=3) == 5

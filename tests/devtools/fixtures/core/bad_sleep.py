@@ -1,0 +1,25 @@
+"""Known-bad retry-loop fixture (linted, never imported).
+
+The directory component ``core`` puts this file in the determinism
+scope; the bare ``time.sleep`` calls below are asserted by exact rule
+id and line number in ``test_determinism_rules.py`` — renumber
+carefully.
+"""
+
+import time
+from time import sleep
+
+
+def naive_retry(fetch):
+    for attempt in range(5):
+        try:
+            return fetch()
+        except ValueError:
+            time.sleep(2**attempt)  # line 18: RPL006
+    return None
+
+
+def aliased_backoff():
+    sleep(1.0)  # line 23: RPL006
+    nap = time.sleep
+    return nap

@@ -2,8 +2,10 @@
 packages (no ``twittersim/core/features/labeling/ml`` path part)."""
 
 import random
+import time
 
 
 def shuffle(items):
     random.shuffle(items)
+    time.sleep(0)
     return items

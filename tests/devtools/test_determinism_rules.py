@@ -1,4 +1,4 @@
-"""RPL001-RPL005: the determinism family against known fixtures."""
+"""RPL001-RPL006: the determinism family against known fixtures."""
 
 from __future__ import annotations
 
@@ -10,6 +10,7 @@ BAD = FIXTURES / "core" / "bad_determinism.py"
 GOOD = FIXTURES / "core" / "good_determinism.py"
 OUTSIDE = FIXTURES / "outside" / "uses_random.py"
 BAD_HASH = FIXTURES / "labeling" / "bad_hash.py"
+BAD_SLEEP = FIXTURES / "core" / "bad_sleep.py"
 
 
 def lint(*paths):
@@ -71,6 +72,26 @@ class TestNoBuiltinHash:
         assert rule_lines(lint(OUTSIDE), "RPL005", "uses_random.py") == []
 
 
+class TestNoBareSleep:
+    """RPL006: retry loops must flow through the seeded RetryPolicy."""
+
+    def test_exact_rule_id_and_lines(self):
+        findings = lint(BAD_SLEEP)
+        assert rule_lines(findings, "RPL006", "bad_sleep.py") == [
+            18,
+            23,
+        ]
+        assert {f.rule for f in findings} == {"RPL006"}
+
+    def test_message_and_fix_hint_name_the_offense(self):
+        findings = [f for f in lint(BAD_SLEEP) if f.rule == "RPL006"]
+        assert all("time.sleep" in f.message for f in findings)
+        assert all("RetryPolicy" in f.fix_hint for f in findings)
+
+    def test_out_of_scope_sleep_is_ignored(self):
+        assert rule_lines(lint(OUTSIDE), "RPL006", "uses_random.py") == []
+
+
 class TestKnownGood:
     def test_seeded_and_perf_counter_patterns_pass(self):
         assert lint(GOOD) == []
@@ -87,6 +108,7 @@ def test_family_selectable_by_prefix():
         "RPL003",
         "RPL004",
         "RPL005",
+        "RPL006",
     }
     findings, _ = run_lint([FIXTURES], rules=rules, root=FIXTURES)
     assert {f.rule for f in findings} <= {r.id for r in rules}

@@ -121,6 +121,71 @@ class TestCrossValidationParity:
         assert lambda_result.mean == baseline.mean
 
 
+class TestFaultedRunParity:
+    """Parity must survive chaos: label a fault-perturbed capture set.
+
+    A collection run executed under a fixed fault plan (reconnects,
+    backfills, duplicate deliveries) feeds the full labeling pipeline
+    at ``workers=0`` and ``workers=4``; the resulting datasets must be
+    bitwise identical, proving the worker knob stays a pure
+    performance choice even for degraded-mode inputs.
+    """
+
+    @pytest.fixture(scope="class")
+    def faulted_experiment(self):
+        from repro.core.experiment import PseudoHoneypotExperiment
+        from repro.faults import FaultPlan
+        from repro.twittersim.config import SimulationConfig
+
+        plan = FaultPlan.random_plan(
+            21, start_hour=2, n_hours=4, intensity=1.5
+        )
+        experiment = PseudoHoneypotExperiment(
+            SimulationConfig.small(seed=21),
+            candidate_pool=400,
+            fault_plan=plan,
+        )
+        experiment.warm_up(2)
+        run = experiment.collect_ground_truth(
+            hours=4, n_targets=4, per_value=3
+        )
+        assert run.n_captures > 0
+        return experiment, run
+
+    def _label(self, experiment, run, workers):
+        from repro.labeling.manual import ManualChecker
+        from repro.labeling.pipeline import GroundTruthLabeler
+
+        checker = ManualChecker(
+            experiment.population.truth,
+            error_rate=0.02,
+            seed=experiment.config.seed,
+        )
+        labeler = GroundTruthLabeler(
+            experiment.rest,
+            checker,
+            minhash_seed=experiment.config.seed,
+            workers=workers,
+        )
+        return labeler.label(
+            [capture.tweet for capture in run.captures]
+        )
+
+    def test_labeling_identical_at_any_worker_count(
+        self, faulted_experiment
+    ):
+        experiment, run = faulted_experiment
+        sequential = self._label(experiment, run, workers=0)
+        parallel = self._label(experiment, run, workers=WORKERS)
+        assert np.array_equal(
+            sequential.tweet_labels, parallel.tweet_labels
+        )
+        assert sequential.user_labels == parallel.user_labels
+        assert sequential.tweet_method == parallel.tweet_method
+        assert sequential.user_method == parallel.user_method
+        assert sequential.method_counts == parallel.method_counts
+
+
 class TestLabelingParity:
     def test_minhash_groups_identical(self):
         texts = [

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.twittersim.api.streaming import (
+    MAX_TRACK_TERMS,
     StreamingClient,
     parse_track_term,
 )
@@ -103,6 +104,65 @@ class TestFilteredStream:
         too_many = [f"@user{i}" for i in range(client.MAX_TRACK_TERMS + 1)]
         with pytest.raises(FilterLimitError):
             client.filter(too_many)
+
+    def test_update_filter_over_limit_raises(self, fresh_world):
+        """The limit applies to updates too, not just the initial
+        filter (a broken network must not smuggle in an oversized
+        track list through the update path)."""
+        __, engine, __ = fresh_world(seed=34)
+        stream = StreamingClient(engine).filter(["@x"])
+        too_many = [f"@user{i}" for i in range(MAX_TRACK_TERMS + 1)]
+        with pytest.raises(FilterLimitError):
+            stream.update_filter(too_many)
+        assert stream.tracked_names == frozenset({"x"})
+
+    def test_update_filter_invalid_term_keeps_previous_filter(
+        self, fresh_world
+    ):
+        __, engine, __ = fresh_world(seed=34)
+        stream = StreamingClient(engine).filter(["@x"])
+        with pytest.raises(InvalidFilterError):
+            stream.update_filter(["@ok", "not-a-handle"])
+        assert stream.tracked_names == frozenset({"x"})
+
+    def test_update_broken_stream_raises(self, fresh_world):
+        __, engine, __ = fresh_world(seed=34)
+        stream = StreamingClient(engine).filter(["@x"])
+        stream.mark_broken(at=engine.clock.now)
+        with pytest.raises(StreamDisconnectedError):
+            stream.update_filter(["@y"])
+        assert stream.broken
+        assert not stream.closed
+
+    def test_broken_stream_counts_undelivered(self, fresh_world):
+        population, engine, __ = fresh_world(seed=36)
+        tracked = self.pick_tracked_user(population)
+        stream = StreamingClient(engine).filter(
+            [f"@{tracked.screen_name}"]
+        )
+        engine.run_hours(2)
+        delivered = stream.matched_count
+        assert delivered > 0
+        stream.mark_broken(at=engine.clock.now)
+        assert not stream.connected
+        engine.run_hours(2)
+        assert stream.matched_count == delivered
+        assert stream.undelivered_matches > 0
+        assert stream.disconnected_at is not None
+
+    def test_mark_broken_is_idempotent_and_closed_wins(
+        self, fresh_world
+    ):
+        __, engine, __ = fresh_world(seed=34)
+        stream = StreamingClient(engine).filter(["@x"])
+        stream.mark_broken(at=1.0)
+        stream.mark_broken(at=2.0)  # no-op; first drop time stands
+        assert stream.disconnected_at == 1.0
+        stream.disconnect()
+        assert stream.closed
+        assert not stream.broken  # closed supersedes broken
+        stream.mark_broken(at=3.0)  # no-op on a closed stream
+        assert not stream.broken
 
     def test_multiple_streams_independent(self, fresh_world):
         population, engine, __ = fresh_world(seed=35)
