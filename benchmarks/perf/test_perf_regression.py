@@ -1,10 +1,14 @@
-"""The perf harness end-to-end: BENCH artifacts and the gate.
+"""The perf harness end-to-end: BENCH artifacts and both gates.
 
 These run the real ``scripts/bench.py`` CLI (micro workload, seconds)
 in a scratch directory, so they live under ``benchmarks/`` rather than
-the tier-1 ``tests/`` tree.  They prove the acceptance loop: a first
-run writes ``BENCH_<runid>.json``, a second run diffs against it, and
-a doctored slow baseline trips the non-zero exit.
+the tier-1 ``tests/`` tree.  They prove the acceptance loop twice
+over: the legacy single-baseline flow (first run writes
+``BENCH_<runid>.json``, a second diffs against it, a doctored slow
+baseline trips the non-zero exit) and the ledger trajectory flow (runs
+accumulate in a scratch ledger and gate against the median).  Every
+invocation points the ledger at the scratch directory — the repo's
+committed ``results/ledger/bench.jsonl`` must never absorb test runs.
 """
 
 from __future__ import annotations
@@ -23,20 +27,19 @@ def run_bench(tmp_path: Path, *extra: str) -> subprocess.CompletedProcess:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
     env.pop("REPRO_PROFILE", None)
+    args = [
+        sys.executable,
+        str(BENCH_CLI),
+        "--scale",
+        "micro",
+        "--out-dir",
+        str(tmp_path),
+        *extra,
+    ]
+    if "--ledger" not in extra and "--no-ledger" not in extra:
+        args += ["--no-ledger"]
     return subprocess.run(
-        [
-            sys.executable,
-            str(BENCH_CLI),
-            "--scale",
-            "micro",
-            "--out-dir",
-            str(tmp_path),
-            *extra,
-        ],
-        capture_output=True,
-        text=True,
-        env=env,
-        check=False,
+        args, capture_output=True, text=True, env=env, check=False
     )
 
 
@@ -79,3 +82,55 @@ def test_doctored_slow_baseline_trips_the_gate(tmp_path):
     assert "<< REGRESSION" in gated.stdout
     ungated = run_bench(tmp_path, "--runid", "run_c", "--no-gate")
     assert ungated.returncode == 0, ungated.stderr
+
+
+def test_ledger_trajectory_accumulates_and_gates(tmp_path):
+    ledger = tmp_path / "ledger.jsonl"
+    first = run_bench(
+        tmp_path, "--runid", "run_a", "--ledger", str(ledger)
+    )
+    assert first.returncode == 0, first.stderr
+    assert "gate skipped" in first.stdout
+    second = run_bench(
+        tmp_path,
+        "--runid",
+        "run_b",
+        "--ledger",
+        str(ledger),
+        "--threshold",
+        "5.0",
+    )
+    assert second.returncode == 0, second.stderr
+    assert "median[1]" in second.stdout
+    lines = [
+        json.loads(line)
+        for line in ledger.read_text().splitlines()
+        if line.strip()
+    ]
+    assert [entry["runid"] for entry in lines] == ["run_a", "run_b"]
+    assert all(
+        entry["schema"] == "repro-ledger/1" for entry in lines
+    )
+
+
+def test_doctored_slow_trajectory_trips_the_gate(tmp_path):
+    ledger = tmp_path / "ledger.jsonl"
+    first = run_bench(
+        tmp_path, "--runid", "run_a", "--ledger", str(ledger)
+    )
+    assert first.returncode == 0, first.stderr
+    # Rewrite the run's ledger line to claim every phase was ~instant.
+    entry = json.loads(ledger.read_text())
+    for phase in entry["phases"].values():
+        phase["wall_s"] = 0.005
+    entry["totals"]["wall_s"] = 0.005 * len(entry["phases"])
+    # Medians only trust phases that took >= the comparability floor;
+    # keep one phase just above it so the gate has a real baseline.
+    entry["phases"]["experiment.run_plan"]["wall_s"] = 0.06
+    ledger.write_text(json.dumps(entry) + "\n")
+    gated = run_bench(
+        tmp_path, "--runid", "run_b", "--ledger", str(ledger)
+    )
+    assert gated.returncode == 1
+    assert "PERF REGRESSION" in gated.stderr
+    assert "median[1]" in gated.stdout

@@ -2,11 +2,23 @@
 
 Runs one of the preset benchmark workloads (micro/tiny/small) fully
 instrumented, distills the run report's ``experiment.*`` span tree
-into ``BENCH_<runid>.json`` at the repo root, and diffs it against the
-newest previous BENCH file.  Any phase slower than the threshold
-(default +35%, override with ``--threshold`` or
-``REPRO_BENCH_THRESHOLD``) makes the script **exit non-zero** — wire
-it next to the tier-1 pytest command to catch perf regressions per PR:
+into ``BENCH_<runid>.json`` at the repo root, and appends the same
+result to the run ledger (``results/ledger/bench.jsonl`` — tracked in
+git, unlike the BENCH files) so the perf trajectory accumulates across
+machines and commits.
+
+Regression gating, in priority order:
+
+1. ``--baseline PATH`` — diff against that one BENCH file;
+2. the ledger — diff against the **median of the last K** comparable
+   records (same scale + workers), via ``diff_trajectory``;
+3. the newest previous ``BENCH_*.json`` in ``--out-dir`` (legacy
+   single-baseline flow).
+
+Any phase slower than the threshold (default +35%, override with
+``--threshold`` or ``REPRO_BENCH_THRESHOLD``) makes the script **exit
+non-zero** — wire it next to the tier-1 pytest command to catch perf
+regressions per PR:
 
     REPRO_SCALE=tiny PYTHONPATH=src python scripts/bench.py
 
@@ -31,11 +43,15 @@ from repro.analysis import WORKLOAD_NAMES, run_bench_workload  # noqa: E402
 from repro.obs import (  # noqa: E402
     BenchResult,
     LiveMonitor,
+    RunLedger,
+    RunRecord,
     diff_benchmarks,
+    diff_trajectory,
     find_previous,
     set_profiling,
 )
 from repro.obs.bench import DEFAULT_THRESHOLD  # noqa: E402
+from repro.obs.ledger import DEFAULT_LAST_K  # noqa: E402
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -79,6 +95,38 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
         help="where BENCH_<runid>.json lands (default: repo root)",
     )
     parser.add_argument(
+        "--ledger",
+        type=Path,
+        default=None,
+        help=(
+            "run-ledger JSONL to append to and gate against (default: "
+            "results/ledger/bench.jsonl under the repo root)"
+        ),
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="skip the ledger append and trajectory gating entirely",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=(
+            "explicit BENCH_*.json to gate against (overrides the "
+            "ledger trajectory)"
+        ),
+    )
+    parser.add_argument(
+        "--last-k",
+        type=int,
+        default=DEFAULT_LAST_K,
+        help=(
+            "trajectory window: gate against the median of the last "
+            f"K comparable ledger records (default {DEFAULT_LAST_K})"
+        ),
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="attach cProfile top-N hot functions to phase spans",
@@ -94,6 +142,15 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
         help="write the artifact but never fail on regressions",
     )
     return parser.parse_args(argv)
+
+
+def _comparable(record: RunRecord, current: BenchResult) -> bool:
+    """Whether a ledger record is trajectory material for this run."""
+    return (
+        record.kind == "bench"
+        and record.meta.get("scale") == current.meta.get("scale")
+        and record.meta.get("workers") == current.meta.get("workers")
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -123,22 +180,63 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         workers=args.workers,
     )
-    previous_path = find_previous(args.out_dir, exclude_runid=runid)
     path = current.save(args.out_dir)
     print(f"benchmark artifact: {path}")
 
-    if previous_path is None:
-        print("no previous BENCH_*.json found; regression gate skipped")
+    # The ledger trajectory accumulates even when gating is skipped:
+    # history is what makes future medians trustworthy.  Baseline
+    # records are read BEFORE appending so this run never gates
+    # against itself.
+    ledger: RunLedger | None = None
+    baseline_records: list[RunRecord] = []
+    if not args.no_ledger:
+        ledger = RunLedger(
+            args.ledger
+            if args.ledger is not None
+            else RunLedger.default(REPO_ROOT).path
+        )
+        baseline_records = [
+            record
+            for record in ledger.trajectory(kind="bench")
+            if _comparable(record, current)
+        ]
+        ledger.append(
+            RunRecord.from_bench(current),
+            timestamp=runid,
+        )
+        print(f"ledger: {ledger.path} ({len(baseline_records) + 1} runs)")
+
+    diff = None
+    if args.baseline is not None:
+        previous = BenchResult.load(args.baseline)
+        diff = diff_benchmarks(
+            previous, current, threshold=args.threshold
+        )
+    elif baseline_records:
+        diff = diff_trajectory(
+            baseline_records,
+            current,
+            threshold=args.threshold,
+            k=args.last_k,
+        )
+    else:
+        previous_path = find_previous(args.out_dir, exclude_runid=runid)
+        if previous_path is not None:
+            previous = BenchResult.load(previous_path)
+            diff = diff_benchmarks(
+                previous, current, threshold=args.threshold
+            )
+
+    if diff is None:
+        print("no baseline or ledger history; regression gate skipped")
         return 0
-    previous = BenchResult.load(previous_path)
-    diff = diff_benchmarks(previous, current, threshold=args.threshold)
     print()
     print(diff.render())
     if not diff.ok and not args.no_gate:
         print(
             f"\nPERF REGRESSION: {len(diff.regressions)} phase(s) "
             f"slower than +{100 * args.threshold:.0f}% "
-            f"vs {previous_path.name}",
+            f"vs {diff.previous_runid}",
             file=sys.stderr,
         )
         return 1

@@ -41,6 +41,38 @@ if [[ "$fast" == "0" ]]; then
     echo "== perf smoke (benchmarks/perf) =="
     REPRO_SCALE="${REPRO_SCALE:-tiny}" PYTHONPATH=src \
         python -m pytest -q benchmarks/perf
+
+    echo "== ledger + dashboard smoke =="
+    # Two seeded micro runs into a throwaway ledger, then assert the
+    # trajectory accumulated, the median gate runs, and the dashboard
+    # renders fully offline.  The second run gates at a generous
+    # threshold so wall-clock noise cannot fail the lane.
+    smoke_dir="$(mktemp -d)"
+    trap 'rm -rf "$smoke_dir"' EXIT
+    PYTHONPATH=src python scripts/bench.py --scale micro \
+        --runid smokeA --out-dir "$smoke_dir" \
+        --ledger "$smoke_dir/bench.jsonl" --no-gate >/dev/null
+    PYTHONPATH=src python scripts/bench.py --scale micro \
+        --runid smokeB --out-dir "$smoke_dir" \
+        --ledger "$smoke_dir/bench.jsonl" --threshold 5.0 >/dev/null
+    SMOKE_DIR="$smoke_dir" PYTHONPATH=src python - <<'EOF'
+import os
+from pathlib import Path
+
+from repro.obs import RunLedger, diff_trajectory, save_dashboard
+
+smoke_dir = Path(os.environ["SMOKE_DIR"])
+ledger = RunLedger(smoke_dir / "bench.jsonl")
+records = ledger.trajectory(kind="bench")
+assert len(records) == 2, f"trajectory length {len(records)} != 2"
+diff = diff_trajectory(records[:-1], records[-1], threshold=5.0)
+assert diff.ok, f"trajectory gate tripped: {diff.render()}"
+out = save_dashboard(smoke_dir / "dashboard.html", records)
+html = out.read_text(encoding="utf-8")
+assert "http" not in html, "dashboard references external resources"
+assert "smokeB" in html, "dashboard missing latest run"
+print(f"ledger+dashboard smoke OK ({len(html)} bytes of HTML)")
+EOF
 fi
 
 echo "== all checks passed =="

@@ -21,8 +21,9 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import configure_logging  # noqa: E402
 from repro.core import PseudoHoneypotExperiment, SelectionPlan  # noqa: E402
+from repro.core.pge import pge_by_sample, ranking_payload  # noqa: E402
 from repro.devtools.lint import TAXONOMY_RE  # noqa: E402
-from repro.obs import reset, set_enabled  # noqa: E402
+from repro.obs import get_event_stream, reset, set_enabled  # noqa: E402
 from repro.twittersim import SimulationConfig  # noqa: E402
 
 OUT_PATH = Path(__file__).resolve().parent.parent / "results" / "obs_smoke.json"
@@ -63,7 +64,20 @@ def main() -> int:
     # The committed artifact is the *normalized* report — timings and
     # run identity zeroed — so reruns on any machine are byte-stable
     # and the file only changes when behavior does.
+    previous_bytes = (
+        OUT_PATH.read_bytes() if OUT_PATH.exists() else None
+    )
     report.normalized().save(OUT_PATH)
+    if previous_bytes is not None:
+        if OUT_PATH.read_bytes() == previous_bytes:
+            print(f"{OUT_PATH.name}: byte-identical to previous run")
+        else:
+            # Informational, not fatal: a behavior-changing PR is
+            # *expected* to move the artifact exactly once.
+            print(
+                f"NOTE: {OUT_PATH.name} changed vs the committed "
+                "bytes (expected only on behavior-changing PRs)"
+            )
     print(report.render_summary())
 
     failures: list[str] = []
@@ -93,6 +107,37 @@ def main() -> int:
         failures.append(
             f"label.tweets_labeled counter {labeled_counter} != "
             f"dataset.n_tweets {dataset.n_tweets}"
+        )
+
+    # Live garner telemetry must reconcile with the post-hoc PGE
+    # machinery: the garner counter saw every capture, each monitored
+    # hour published one live snapshot, and the final snapshot IS the
+    # Table-VI ranking bit-for-bit.
+    pge_captures = report.metrics["counters"].get("pge.captures")
+    if pge_captures != expected_total:
+        failures.append(
+            f"pge.captures counter {pge_captures} != "
+            f"collection+sweep {expected_total}"
+        )
+    stream = get_event_stream()
+    live_snapshots = [
+        event
+        for event in stream.events("pge.snapshot")
+        if event.attributes.get("kind") == "live"
+    ]
+    monitored_hours = collection.exposure.hours + sweep.exposure.hours
+    if len(live_snapshots) != monitored_hours:
+        failures.append(
+            f"{len(live_snapshots)} live pge.snapshot events != "
+            f"{monitored_hours} monitored hours"
+        )
+    final = stream.last("pge.snapshot")
+    expected_bands = ranking_payload(pge_by_sample(outcome, sweep.exposure))
+    if final is None or final.attributes.get("kind") != "final":
+        failures.append("no final pge.snapshot after classify")
+    elif final.attributes.get("bands") != expected_bands:
+        failures.append(
+            "final pge.snapshot bands != pge_by_sample ranking"
         )
 
     # Every exported name must fit the taxonomy repro-lint enforces

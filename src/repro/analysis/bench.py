@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import logging
 
+from dataclasses import asdict
+
 from ..core.experiment import PseudoHoneypotExperiment
-from ..obs import RunReport, reset, set_enabled
+from ..obs import RunReport, reset, set_enabled, stable_digest
 from ..twittersim.config import SimulationConfig
 from .session import SessionScale
 
@@ -109,6 +111,10 @@ def run_bench_workload(
         scale=scale.name,
         captures=collection.n_captures + sweep.n_captures,
         n_spams=outcome.n_spams,
+        # Content-addressed run identity: ledger trend queries group
+        # comparable runs by this digest instead of (scale, seed,
+        # ...)-tuple heuristics.
+        config_digest=stable_digest(asdict(scale.sim)),
         **meta,
     )
     log.info(

@@ -20,14 +20,15 @@ from __future__ import annotations
 
 import logging
 from contextlib import nullcontext
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from ..faults import FaultInjector, FaultPlan
 from ..labeling.manual import ManualChecker
 from ..labeling.pipeline import GroundTruthLabeler, LabeledDataset
 from ..ml.base import Classifier
-from ..obs import LiveMonitor, RunReport, profile
+from ..obs import LiveMonitor, RunReport, emit, profile
+from ..obs.ledger import RunLedger, RunRecord, stable_digest
 from ..parallel import executor
 from ..twittersim.api.rest import RestClient
 from ..twittersim.config import SimulationConfig
@@ -295,6 +296,21 @@ class PseudoHoneypotExperiment:
                 n_spams=outcome.n_spams,
                 n_spammers=outcome.n_spammers,
             )
+            # The final PGE snapshot: now that verdicts exist, publish
+            # the true Table-VI ranking over the same event channel the
+            # hourly live estimates used.  Same payload as
+            # ``pge_by_sample`` bit-for-bit, at any worker count.
+            from .pge import pge_by_sample, ranking_payload
+
+            emit(
+                "pge.snapshot",
+                kind="final",
+                hour=self.engine.clock.hour,
+                captures=run.n_captures,
+                bands=ranking_payload(
+                    pge_by_sample(outcome, run.exposure)
+                ),
+            )
         return outcome
 
     def run_plans_concurrently(
@@ -383,7 +399,12 @@ class PseudoHoneypotExperiment:
         return LiveMonitor(out=out)
 
     def export_report(
-        self, path: str | Path | None = None, **meta: object
+        self,
+        path: str | Path | None = None,
+        ledger: RunLedger | None = None,
+        runid: str | None = None,
+        timestamp: str | None = None,
+        **meta: object,
     ) -> RunReport:
         """Snapshot the global phase tree + metrics as a `RunReport`.
 
@@ -394,6 +415,13 @@ class PseudoHoneypotExperiment:
 
         Args:
             path: if given, also write the report JSON there.
+            ledger: if given, also distill the report into a
+                :class:`~repro.obs.ledger.RunRecord` — stamped with
+                this experiment's config digest, fault-plan digest,
+                and worker setting — and append it there.
+            runid: ledger record id; defaults to the report's.
+            timestamp: caller-injected ``ts`` for the ledger record
+                (this module never reads the wall clock).
             **meta: free-form metadata recorded in the report.
 
         Returns:
@@ -405,4 +433,20 @@ class PseudoHoneypotExperiment:
         if path is not None:
             report.save(path)
             log.info("run report exported to %s", path)
+        if ledger is not None:
+            record_meta: dict[str, object] = {
+                "config_digest": stable_digest(asdict(self.config)),
+                "workers": self.workers,
+            }
+            if self.fault_plan is not None:
+                record_meta["fault_plan_digest"] = stable_digest(
+                    self.fault_plan.to_dict()
+                )
+            record = RunRecord.from_report(
+                report,
+                runid=runid or str(report.meta.get("runid", "run")),
+                **record_meta,
+            )
+            ledger.append(record, timestamp=timestamp)
+            log.info("run record appended to %s", ledger.path)
         return report

@@ -19,6 +19,7 @@ from ..twittersim.api.rest import RestClient
 from ..twittersim.api.streaming import FilteredStream, StreamingClient
 from ..twittersim.engine import TwitterEngine
 from ..twittersim.errors import TwitterSimError
+from .garner import GarnerTelemetry
 from .monitor import CapturedTweet, PseudoHoneypotMonitor
 from .selection import AttributeSelector, HoneypotNode, SelectionPlan
 
@@ -113,6 +114,7 @@ class PseudoHoneypotNetwork:
         self.monitor = PseudoHoneypotMonitor()
         self.exposure = ExposureLedger()
         self.recovery = RecoveryLedger()
+        self.garner = GarnerTelemetry(self.exposure)
         self.current_nodes: list[HoneypotNode] = []
         self._client: StreamingClient | None = None
         self._rest: RestClient | None = None
@@ -237,6 +239,17 @@ class PseudoHoneypotNetwork:
                 self.engine.clock.hour - 1,
                 len(self.current_nodes),
             )
+        # Live PGE estimate: fold the hour's captures into the garner
+        # tallies and publish the per-band snapshot for this hour.
+        self.garner.observe(self.monitor.captured)
+        self._events.emit(
+            "pge.snapshot",
+            kind="live",
+            hour=self.engine.clock.hour - 1,
+            nodes=len(self.current_nodes),
+            captures=self.garner.observed,
+            bands=self.garner.band_snapshot(),
+        )
 
     def run_hour(self) -> None:
         """Advance the platform one hour under monitoring.
@@ -268,6 +281,10 @@ class PseudoHoneypotNetwork:
             self._recover_stream(reconnect=False)
         else:
             stream.disconnect()
+        # A shutdown-time drain can land captures (gap backfill) after
+        # the last hourly snapshot: catch the tallies up so the final
+        # garner state reconciles with the capture buffer exactly.
+        self.garner.observe(self.monitor.captured)
         self._events.emit(
             "network.shutdown",
             hours=self.exposure.hours,

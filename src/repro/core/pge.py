@@ -107,6 +107,24 @@ def pge_ranking(
     return entries
 
 
+def ranking_payload(entries: list[PgeEntry]) -> list[dict]:
+    """A PGE ranking as plain dict rows (the final ``pge.snapshot``).
+
+    The live hourly snapshots rate bands by distinct users per
+    node-hour; the final event carries *this* payload instead, so it
+    reconciles bit-for-bit with the Table VI ranking.
+    """
+    return [
+        {
+            "band": entry.label,
+            "spammers": entry.spammers,
+            "node_hours": entry.node_hours,
+            "pge": entry.pge,
+        }
+        for entry in entries
+    ]
+
+
 def pge_by_sample(
     outcome: ClassificationOutcome, exposure: ExposureLedger
 ) -> list[PgeEntry]:

@@ -14,7 +14,8 @@ Rule families (full catalog: ``python -m repro.devtools.lint
   every feature-name literal resolves against it;
 * ``RPL2xx`` observability — span/metric labels fit the dotted
   taxonomy, no instrument-kind conflicts, experiment mutators run
-  inside ``experiment.*`` spans, artifacts go through ``RunReport``;
+  inside ``experiment.*`` spans, artifacts go through ``RunReport``,
+  ledger lines under ``results/ledger/`` go through ``RunLedger``;
 * ``RPL3xx`` hygiene — mutable defaults, silently-swallowed broad
   excepts, ``print`` in library code.
 

@@ -40,6 +40,7 @@ from .observability_rules import (
     EventNameRule,
     ExperimentSpanRule,
     InstrumentKindConflictRule,
+    LedgerWriteRule,
     MetricNameRule,
     SpanLabelRule,
 )
@@ -61,6 +62,7 @@ ALL_RULES: tuple[Rule, ...] = (
     ExperimentSpanRule(),
     ArtifactWriteRule(),
     EventNameRule(),
+    LedgerWriteRule(),
     MutableDefaultRule(),
     SwallowedExceptionRule(),
     NoPrintRule(),

@@ -1,4 +1,4 @@
-"""Observability-contract rules (RPL201-RPL206).
+"""Observability-contract rules (RPL201-RPL207).
 
 PR 1's run reports are only diffable across PRs if the span/metric
 namespace stays stable: every label fits the dotted taxonomy DESIGN.md
@@ -37,6 +37,9 @@ NAMESPACES = (
     "faults",
     "stream",
     "capture",
+    "pge",
+    "ledger",
+    "dashboard",
 )
 TAXONOMY_RE = re.compile(
     r"^(?:%s)\.[a-z0-9_]+(?:\.[a-z0-9_]+)*$" % "|".join(NAMESPACES)
@@ -302,6 +305,8 @@ class ArtifactWriteRule(FileRule):
         ("obs", "report.py"),
         ("obs", "bench.py"),
         ("obs", "events.py"),
+        ("obs", "ledger.py"),
+        ("obs", "dashboard.py"),
     )
 
     def applies_to(self, ctx: FileContext) -> bool:
@@ -355,6 +360,74 @@ class ArtifactWriteRule(FileRule):
                 mode = kw.value
         if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
             return any(ch in mode.value for ch in "wax")
+        return False
+
+
+class LedgerWriteRule(FileRule):
+    """RPL207: ledger files are written via the RunLedger API only."""
+
+    id = "RPL207"
+    name = "ledger-write-bypass"
+    category = "observability"
+    description = (
+        "Writes targeting results/ledger/ must go through "
+        "RunLedger.append: the ledger is an append-only JSONL log "
+        "whose schema marker, canonical serialization, and "
+        "crash-tolerant line discipline are what make trajectories "
+        "diffable — a raw open()/write_text/json.dump bypass can "
+        "corrupt every downstream trend query."
+    )
+    fix_hint = (
+        "Build a RunRecord (from_report/from_bench) and call "
+        "RunLedger.append(record, timestamp=...); read sides are fine "
+        "(RunLedger.load already tolerates foreign lines by skipping "
+        "them)."
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # The RunLedger implementation itself is the sanctioned writer.
+        return ctx.parts[-2:] != ("obs", "ledger.py")
+
+    def visit_Call(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterable[Finding]:
+        func = node.func
+        writes = False
+        how = ""
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "write_text",
+            "write_bytes",
+        ):
+            writes = True
+            how = f".{func.attr}()"
+        elif call_name(ctx, node) == "json.dump":
+            writes = True
+            how = "json.dump()"
+        else:
+            is_open = call_name(ctx, node) == "open" or (
+                isinstance(func, ast.Attribute) and func.attr == "open"
+            )
+            if is_open and ArtifactWriteRule._open_mode_writes(node):
+                writes = True
+                how = "open(..., write mode)"
+        if writes and self._targets_ledger(node):
+            yield self.finding(
+                ctx,
+                node,
+                f"write under results/ledger/ via {how} bypasses "
+                "the RunLedger API",
+            )
+
+    @staticmethod
+    def _targets_ledger(node: ast.Call) -> bool:
+        """Whether any literal in the call mentions the ledger dir."""
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Constant)
+                and isinstance(child.value, str)
+                and "results/ledger" in child.value
+            ):
+                return True
         return False
 
 

@@ -20,7 +20,14 @@ zero-dependency instrumentation layer:
   stream for in-flight runs;
 * :class:`~repro.obs.bench.BenchResult` + ``diff_benchmarks``, the
   ``BENCH_<runid>.json`` perf-regression artifacts
-  (``scripts/bench.py``).
+  (``scripts/bench.py``);
+* :class:`~repro.obs.ledger.RunLedger` + ``diff_trajectory``, the
+  append-only JSONL run trajectory under ``results/ledger/`` with its
+  median-of-last-K regression gate;
+* :func:`~repro.obs.dashboard.save_dashboard`, the self-contained
+  offline HTML view of a ledger + event stream;
+* :func:`~repro.obs.resources.sample`, per-phase peak-RSS/CPU
+  readings (``getrusage``) stamped onto phase spans by ``profile``.
 
 Span taxonomy (dotted, one namespace per layer):
 
@@ -40,6 +47,11 @@ Span taxonomy (dotted, one namespace per layer):
 ``capture.*``    degraded-mode capture accounting:
                  ``capture.gap_backfilled``, ``capture.lost``,
                  ``capture.duplicate_dropped``
+``pge.*``        live garner telemetry: ``pge.captures`` /
+                 ``pge.garner.<attribute>`` counters and the hourly
+                 ``pge.snapshot`` event (``repro.core.garner``)
+``ledger.*``     run-ledger appends (``ledger.appended``)
+``dashboard.*``  dashboard renders (``dashboard.rendered``)
 
 Everything is resettable (``reset()``) for test isolation and cheaply
 disableable (``set_enabled(False)``) so instrumented hot paths cost a
@@ -57,11 +69,19 @@ from .bench import (
     diff_benchmarks,
     find_previous,
 )
+from .dashboard import render_dashboard, save_dashboard
 from .events import Event, EventStream, JsonlSink
+from .ledger import (
+    RunLedger,
+    RunRecord,
+    diff_trajectory,
+    stable_digest,
+)
 from .live import LiveMonitor
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profiling import profile, profiling_enabled, set_profiling
 from .report import SUMMARY_HEADERS, RunReport
+from .resources import ResourceSample
 from .tracing import NULL_SPAN, Span, Tracer
 
 __all__ = [
@@ -77,14 +97,21 @@ __all__ = [
     "MetricsRegistry",
     "NULL_SPAN",
     "PhaseDelta",
+    "ResourceSample",
+    "RunLedger",
+    "RunRecord",
     "RunReport",
     "SUMMARY_HEADERS",
     "Span",
     "Tracer",
     "diff_benchmarks",
+    "diff_trajectory",
     "disabled",
     "emit",
     "find_previous",
+    "render_dashboard",
+    "save_dashboard",
+    "stable_digest",
     "get_event_stream",
     "get_registry",
     "get_tracer",

@@ -12,6 +12,10 @@ the span tracer uses, enforced statically by lint rule RPL206):
 ``network.capture``        one tweet crossed a deployed node
 ``label.stage``            one Table-III labeling stage finished
 ``ml.cv_fold``             one cross-validation fold finished
+``pge.snapshot``           per-band garner rates (hourly ``live``
+                           estimates + one ``final`` Table-VI ranking)
+``ledger.appended``        one RunRecord persisted to a run ledger
+``dashboard.rendered``     the offline HTML dashboard was written
 
 Events flow through the process-global :class:`EventStream`:
 
@@ -120,14 +124,27 @@ class JsonlSink:
         self.close()
 
 
-def read_jsonl(path: str | Path) -> list[Event]:
-    """Load every event previously written by a :class:`JsonlSink`."""
+def read_jsonl(path: str | Path, strict: bool = True) -> list[Event]:
+    """Load every event previously written by a :class:`JsonlSink`.
+
+    Args:
+        path: the event JSONL file.
+        strict: with ``False``, a malformed or truncated line (the
+            normal tail of a file whose writer crashed mid-append) is
+            skipped instead of raising — the mode dashboard renders
+            use, since a live sink may still be mid-line.
+    """
     events = []
     with Path(path).open(encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 events.append(Event.from_dict(json.loads(line)))
+            except (ValueError, KeyError, TypeError):
+                if strict:
+                    raise
     return events
 
 

@@ -1,0 +1,458 @@
+"""The run ledger: a schema-versioned, append-only JSONL trajectory.
+
+PR 3's ``BENCH_<runid>.json`` artifacts are gitignored and compared
+against exactly one previous file, so the perf "trajectory" the
+ROADMAP demands never actually accumulates: every machine sees at most
+one baseline, and a single noisy run poisons the gate.  The ledger
+fixes both problems:
+
+* every run appends one :class:`RunRecord` — run identity (seed,
+  workers, config/fault-plan digests), per-phase timings (wall, CPU,
+  peak RSS), key metrics, and totals — as one JSON line under
+  ``results/ledger/`` (deliberately **not** gitignored);
+* :class:`RunLedger` is the only sanctioned writer (lint rule RPL207
+  flags raw ``open()`` writes under ``results/ledger/``), and its
+  readers are *recovering*: a corrupted or truncated trailing line —
+  the expected failure mode of append-only files — is skipped, never
+  fatal;
+* :func:`diff_trajectory` replaces the single-baseline
+  ``diff_benchmarks`` flow with a **median-of-last-K** baseline, so
+  one outlier run cannot flip the regression gate.
+
+Determinism contract: record bodies never read the wall clock — a
+timestamp is *injected* by the caller (``append(record,
+timestamp=...)``), so two records distilled from identical seeded runs
+serialize byte-identically, and resume/replay flows stay stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .bench import (
+    DEFAULT_THRESHOLD,
+    MIN_COMPARABLE_SECONDS,
+    BenchDiff,
+    BenchResult,
+    PhaseDelta,
+)
+from .report import RunReport
+
+#: Format marker written into (and required from) every ledger line.
+LEDGER_SCHEMA = "repro-ledger/1"
+
+#: Repo-relative home of ledger files (kept OUT of .gitignore so the
+#: trajectory survives across checkouts and CI runs).
+LEDGER_DIRNAME = "results/ledger"
+
+#: Default ledger file for benchmark runs (``scripts/bench.py``).
+BENCH_LEDGER_NAME = "bench.jsonl"
+
+#: Default trajectory window of :func:`diff_trajectory`.
+DEFAULT_LAST_K = 5
+
+
+def stable_digest(obj: object, length: int = 12) -> str:
+    """A short, content-addressed digest of any JSON-able object.
+
+    Used to stamp config / fault-plan identity into ledger records so
+    trend queries can group comparable runs without carrying the whole
+    configuration in every line.
+    """
+    payload = json.dumps(
+        obj, sort_keys=True, default=str, separators=(",", ":")
+    )
+    return hashlib.blake2b(
+        payload.encode("utf-8"), digest_size=8
+    ).hexdigest()[:length]
+
+
+@dataclass
+class RunRecord:
+    """One ledger line: a run's identity, timings, and key metrics."""
+
+    runid: str
+    #: Record flavor: ``experiment`` (export_report) or ``bench``.
+    kind: str = "experiment"
+    #: Run identity: seed, workers, scale, config/fault-plan digests.
+    meta: dict[str, object] = field(default_factory=dict)
+    #: phase name -> {"wall_s", "cpu_s", "calls"[, "max_rss_kb"]}.
+    phases: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Key run metrics (counter snapshot), e.g. ``network.captures``.
+    metrics: dict[str, float] = field(default_factory=dict)
+    totals: dict[str, float] = field(default_factory=dict)
+    #: Caller-injected timestamp; never read from the wall clock here.
+    ts: str | None = None
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_report(
+        cls,
+        report: RunReport,
+        runid: str,
+        kind: str = "experiment",
+        **meta: object,
+    ) -> "RunRecord":
+        """Distill a :class:`RunReport` into one ledger record.
+
+        Phase timings aggregate every ``experiment.*`` span by name
+        (like ``BenchResult.capture``) and additionally keep the
+        per-phase peak RSS the resource sampler stamped; metrics copy
+        the counter snapshot (gauges/histograms are run-shape, not
+        trajectory material).
+        """
+        phases: dict[str, dict[str, float]] = {}
+        for span in report.phase_spans():
+            entry = phases.setdefault(
+                span.name, {"wall_s": 0.0, "cpu_s": 0.0, "calls": 0}
+            )
+            entry["wall_s"] += span.duration_s
+            cpu = span.attributes.get("cpu_s")
+            if isinstance(cpu, (int, float)):
+                entry["cpu_s"] += float(cpu)
+            entry["calls"] += 1
+            rss = span.attributes.get("max_rss_kb")
+            if isinstance(rss, (int, float)):
+                entry["max_rss_kb"] = max(
+                    float(entry.get("max_rss_kb", 0.0)), float(rss)
+                )
+        for entry in phases.values():
+            entry["wall_s"] = round(entry["wall_s"], 6)
+            entry["cpu_s"] = round(entry["cpu_s"], 6)
+        totals = {
+            "wall_s": round(
+                sum(span.duration_s for span in report.spans), 6
+            ),
+            "cpu_s": round(
+                sum(
+                    float(span.attributes.get("cpu_s", 0.0) or 0.0)
+                    for span in report.spans
+                ),
+                6,
+            ),
+        }
+        record_meta = {
+            key: value
+            for key, value in report.meta.items()
+            if isinstance(value, (str, int, float, bool))
+        }
+        record_meta.update(meta)
+        return cls(
+            runid=runid,
+            kind=kind,
+            meta=record_meta,
+            phases=phases,
+            metrics=dict(report.metrics.get("counters", {})),
+            totals=totals,
+        )
+
+    @classmethod
+    def from_bench(cls, bench: BenchResult, **meta: object) -> "RunRecord":
+        """Wrap a ``BenchResult`` as a ``kind="bench"`` record."""
+        record_meta = dict(bench.meta)
+        record_meta.pop("runid", None)
+        record_meta.update(meta)
+        return cls(
+            runid=bench.runid,
+            kind="bench",
+            meta=record_meta,
+            phases={
+                name: dict(entry) for name, entry in bench.phases.items()
+            },
+            metrics={},
+            totals=dict(bench.totals),
+        )
+
+    # -- (de)serialization ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data = {
+            "schema": LEDGER_SCHEMA,
+            "runid": self.runid,
+            "kind": self.kind,
+            "meta": dict(self.meta),
+            "phases": {
+                name: dict(entry)
+                for name, entry in sorted(self.phases.items())
+            },
+            "metrics": dict(sorted(self.metrics.items())),
+            "totals": dict(self.totals),
+        }
+        if self.ts is not None:
+            data["ts"] = self.ts
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            ValueError: on a payload with the wrong schema marker or
+                no runid.
+        """
+        if not isinstance(data, dict) or (
+            data.get("schema") != LEDGER_SCHEMA
+        ):
+            raise ValueError(
+                f"not a {LEDGER_SCHEMA} payload: "
+                f"schema={data.get('schema')!r}"
+                if isinstance(data, dict)
+                else "not a ledger payload"
+            )
+        runid = str(data.get("runid", ""))
+        if not runid:
+            raise ValueError("ledger record has no runid")
+        return cls(
+            runid=runid,
+            kind=str(data.get("kind", "experiment")),
+            meta=dict(data.get("meta", {})),
+            phases={
+                name: dict(entry)
+                for name, entry in data.get("phases", {}).items()
+            },
+            metrics=dict(data.get("metrics", {})),
+            totals=dict(data.get("totals", {})),
+            ts=data.get("ts"),
+        )
+
+    def canonical_json(self) -> str:
+        """The exact line :meth:`RunLedger.append` writes (no newline).
+
+        Sorted keys + fixed separators make serialization a pure
+        function of the record's content: identical runs yield
+        byte-identical lines.
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    # -- queries ----------------------------------------------------------
+
+    def value(self, key: str) -> object | None:
+        """Dotted lookup into one record, ``None`` when absent.
+
+        ``key`` is ``<section>.<name>`` where section is ``totals`` /
+        ``metrics`` / ``meta`` / ``phases``; for ``phases`` the last
+        dotted segment selects the field, e.g.
+        ``phases.experiment.classify.wall_s``.
+        """
+        section, __, rest = key.partition(".")
+        if section == "phases":
+            phase, __, fieldname = rest.rpartition(".")
+            entry = self.phases.get(phase)
+            return None if entry is None else entry.get(fieldname)
+        mapping = {
+            "totals": self.totals,
+            "metrics": self.metrics,
+            "meta": self.meta,
+        }.get(section)
+        return None if mapping is None else mapping.get(rest)
+
+
+class RunLedger:
+    """Append-only JSONL run trajectory with recovering readers.
+
+    One ledger is one file; by convention they live under
+    ``results/ledger/`` (``RunLedger.default(...)``), but any path
+    works — tests and the CI smoke lane point at temp dirs.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    @classmethod
+    def default(
+        cls, root: str | Path = ".", name: str = BENCH_LEDGER_NAME
+    ) -> "RunLedger":
+        """The conventional ledger location under a repo root."""
+        return cls(Path(root) / LEDGER_DIRNAME / name)
+
+    # -- writing ----------------------------------------------------------
+
+    def append(
+        self, record: RunRecord, timestamp: str | None = None
+    ) -> RunRecord:
+        """Append one record (atomic at line granularity).
+
+        Args:
+            record: the record to persist.
+            timestamp: optional caller-supplied stamp recorded as
+                ``ts`` — the ledger itself never reads the wall
+                clock, keeping record bodies reproducible.
+
+        Returns:
+            The record as written (with ``ts`` applied).
+        """
+        from . import emit
+
+        if timestamp is not None:
+            record = RunRecord(
+                runid=record.runid,
+                kind=record.kind,
+                meta=record.meta,
+                phases=record.phases,
+                metrics=record.metrics,
+                totals=record.totals,
+                ts=timestamp,
+            )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(record.canonical_json() + "\n")
+        emit(
+            "ledger.appended",
+            path=str(self.path),
+            runid=record.runid,
+            kind=record.kind,
+        )
+        return record
+
+    # -- reading ----------------------------------------------------------
+
+    def scan(self) -> tuple[list[RunRecord], int]:
+        """All parseable records plus the count of skipped lines.
+
+        A half-written trailing line (crash mid-append), stray blank
+        lines, or a corrupted record are skipped — an append-only log
+        must degrade to its valid prefix, not refuse to load.
+        """
+        if not self.path.exists():
+            return [], 0
+        records: list[RunRecord] = []
+        skipped = 0
+        with self.path.open(encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(RunRecord.from_dict(json.loads(line)))
+                except (ValueError, TypeError):
+                    skipped += 1
+        return records, skipped
+
+    def load(self) -> list[RunRecord]:
+        """All parseable records, oldest first (corruption skipped)."""
+        return self.scan()[0]
+
+    def trajectory(self, kind: str | None = None) -> list[RunRecord]:
+        """The run series, optionally filtered by record kind."""
+        records = self.load()
+        if kind is None:
+            return records
+        return [record for record in records if record.kind == kind]
+
+    def last_k(
+        self, k: int = DEFAULT_LAST_K, kind: str | None = None
+    ) -> list[RunRecord]:
+        """The newest ``k`` records (file order = append order).
+
+        Raises:
+            ValueError: on a non-positive ``k``.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        records = self.trajectory(kind)
+        return records[-k:]
+
+    def series(
+        self, key: str, records: Sequence[RunRecord] | None = None
+    ) -> list[tuple[str, float]]:
+        """Per-run ``(runid, value)`` points for one dotted key.
+
+        Records without the key are skipped, so a metric introduced
+        mid-history yields a shorter (but still ordered) series.
+        """
+        points = []
+        for record in self.load() if records is None else records:
+            value = record.value(key)
+            if isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ):
+                points.append((record.runid, float(value)))
+        return points
+
+
+def diff_trajectory(
+    baseline: Iterable[RunRecord] | RunLedger,
+    current: RunRecord | BenchResult,
+    threshold: float = DEFAULT_THRESHOLD,
+    k: int = DEFAULT_LAST_K,
+) -> BenchDiff:
+    """Gate ``current`` against the median of the last ``k`` records.
+
+    Per phase, the baseline is the **median** wall-clock across the
+    newest ``k`` baseline records carrying that phase (the current
+    runid is excluded if present) — one anomalously slow or fast
+    historical run therefore cannot swing the gate the way the old
+    single-file ``diff_benchmarks`` baseline could.  Returns the same
+    :class:`BenchDiff` shape, so rendering and the regression check
+    are shared with the single-baseline flow.
+
+    Raises:
+        ValueError: on a negative threshold, non-positive ``k``, or an
+            empty baseline (no comparable history).
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if isinstance(baseline, RunLedger):
+        baseline = baseline.load()
+    window = [r for r in baseline if r.runid != current.runid][-k:]
+    if not window:
+        raise ValueError("no baseline records to diff against")
+    diff = BenchDiff(
+        previous_runid=f"median[{len(window)}]",
+        current_runid=current.runid,
+        threshold=threshold,
+    )
+    for name in sorted(current.phases):
+        history = [
+            float(record.phases[name].get("wall_s", 0.0))
+            for record in window
+            if name in record.phases
+        ]
+        if not history:
+            continue
+        diff.deltas.append(
+            PhaseDelta(
+                phase=name,
+                previous_wall_s=statistics.median(history),
+                current_wall_s=float(
+                    current.phases[name].get("wall_s", 0.0)
+                ),
+            )
+        )
+    total_history = [
+        float(record.totals["wall_s"])
+        for record in window
+        if record.totals.get("wall_s")
+    ]
+    if total_history and current.totals.get("wall_s"):
+        diff.deltas.append(
+            PhaseDelta(
+                phase="<total>",
+                previous_wall_s=statistics.median(total_history),
+                current_wall_s=float(current.totals["wall_s"]),
+            )
+        )
+    return diff
+
+
+__all__ = [
+    "BENCH_LEDGER_NAME",
+    "DEFAULT_LAST_K",
+    "LEDGER_DIRNAME",
+    "LEDGER_SCHEMA",
+    "MIN_COMPARABLE_SECONDS",
+    "RunLedger",
+    "RunRecord",
+    "diff_trajectory",
+    "stable_digest",
+]

@@ -9,8 +9,9 @@ renders one console line per interesting event:
 
 .. code-block:: text
 
-    hour   12 | tweets  1543 (spam  6.4%) | captures  +37  0.925/node-hr
+    hour   12 | tweets  1543 (spam  6.4%) | captures  +37  0.925/node-hr | ev +52
     switch    | nodes 40/40 fill 1.00 | churn 31
+    pge live  | hour  12 | top no_description 0.045  followers_count=0 0.038
     label suspended    | +102 spams  +21 spammers
     cv fold  3 | accuracy 0.957  1.24s
 
@@ -51,6 +52,8 @@ class LiveMonitor:
         self._attached = False
         #: Captures seen since the last completed hour line.
         self._captures_this_hour = 0
+        #: Events of any name seen since the last completed hour line.
+        self._events_this_hour = 0
         #: Node count from the latest deploy/switch event.
         self._nodes = 0
         #: Lines rendered (tests assert on this without capturing IO).
@@ -85,6 +88,7 @@ class LiveMonitor:
 
     def on_event(self, event: Event) -> None:
         """Dispatch one event to its renderer (unknown names ignored)."""
+        self._events_this_hour += 1
         handler = getattr(
             self, "_on_" + event.name.replace(".", "_"), None
         )
@@ -111,8 +115,10 @@ class LiveMonitor:
                 f" | captures {captures:>+4d} "
                 f"{per_node_hour:6.3f}/node-hr"
             )
+        line += f" | ev +{self._events_this_hour}"
         self._emit_line(line)
         self._captures_this_hour = 0
+        self._events_this_hour = 0
 
     def _on_network_deploy(self, attrs: dict) -> None:
         self._nodes = int(attrs.get("nodes_selected", 0))
@@ -144,6 +150,22 @@ class LiveMonitor:
             f"label {attrs.get('stage', '?'):<12} | "
             f"{attrs.get('new_spams', 0):+d} spams  "
             f"{attrs.get('new_spammers', 0):+d} spammers"
+        )
+
+    def _on_pge_snapshot(self, attrs: dict) -> None:
+        bands = attrs.get("bands") or []
+        kind = str(attrs.get("kind", "live"))
+        # Live snapshots rate bands by users/node-hour; the final one
+        # carries the true Table-VI PGE column.
+        rate_key = "pge" if kind == "final" else "rate"
+        top = "  ".join(
+            f"{band.get('band', '?')} "
+            f"{float(band.get(rate_key, 0.0)):.3f}"
+            for band in bands[:3]
+        )
+        self._emit_line(
+            f"pge {kind:<5} | hour {attrs.get('hour', '?'):>3} | "
+            f"top {top or '-'}"
         )
 
     def _on_ml_cv_fold(self, attrs: dict) -> None:

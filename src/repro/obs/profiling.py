@@ -34,12 +34,14 @@ import pstats
 import time
 from contextlib import contextmanager
 
+from . import resources
+
 #: Environment variable that opts a whole process into deep profiling.
 PROFILE_ENV_VAR = "REPRO_PROFILE"
 
 #: Span attribute names written by :func:`profile` (the report
 #: normalizer strips these along with wall-clock durations).
-PROFILE_ATTRS = ("cpu_s", "profile_top")
+PROFILE_ATTRS = ("cpu_s", "profile_top", "max_rss_kb")
 
 _DEEP_PROFILING = os.environ.get(PROFILE_ENV_VAR, "") not in ("", "0")
 _TOP_N = 10
@@ -96,8 +98,10 @@ def profile(name: str, **attributes: object):
     """A :func:`repro.obs.trace` span that also records CPU time.
 
     Yields the span; on exit the span carries ``cpu_s`` (process CPU
-    seconds consumed by the block) and, with deep profiling on,
-    ``profile_top`` (the cProfile top-N described above).
+    seconds consumed by the block), ``max_rss_kb`` (the process RSS
+    high-water mark at phase exit, where the platform supports
+    ``getrusage``) and, with deep profiling on, ``profile_top`` (the
+    cProfile top-N described above).
     """
     from . import get_tracer, is_enabled
 
@@ -121,5 +125,9 @@ def profile(name: str, **attributes: object):
                 profiler.disable()
                 _PROFILER_ACTIVE = False
             span.set(cpu_s=round(time.process_time() - cpu0, 6))
+            if resources.available():
+                # Process high-water mark at phase exit: the ledger
+                # keeps the per-phase peak; normalized() strips it.
+                span.set(max_rss_kb=resources.sample().max_rss_kb)
             if profiler is not None:
                 span.set(profile_top=_hot_functions(profiler, _TOP_N))

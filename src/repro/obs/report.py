@@ -41,10 +41,10 @@ SUMMARY_HEADERS = (
     "Captures/node-hour",
 )
 
-#: Span attributes carrying timing data (stripped by ``normalized()``
-#: along with ``started_at``/``duration_s`` — everything a re-run of
-#: the same seed cannot reproduce bit-for-bit).
-TIMING_ATTRS = frozenset({"cpu_s", "profile_top"})
+#: Span attributes carrying timing/resource data (stripped by
+#: ``normalized()`` along with ``started_at``/``duration_s`` —
+#: everything a re-run of the same seed cannot reproduce bit-for-bit).
+TIMING_ATTRS = frozenset({"cpu_s", "profile_top", "max_rss_kb"})
 
 #: Metadata keys that vary per invocation rather than per seed.
 TIMING_META = frozenset({"runid", "created_at"})
@@ -126,9 +126,10 @@ class RunReport:
     def normalized(self) -> "RunReport":
         """A deep copy with every nondeterministic timing stripped.
 
-        Wall-clock offsets/durations are zeroed, timing-valued span
-        attributes (``cpu_s``, ``profile_top``) are removed, and
-        ``*_seconds`` histograms are dropped from the metrics snapshot.
+        Wall-clock offsets/durations are zeroed, timing- and
+        resource-valued span attributes (``cpu_s``, ``profile_top``,
+        ``max_rss_kb``) are removed, and ``*_seconds`` histograms are
+        dropped from the metrics snapshot.
         Two runs of the same seed then serialize to *identical* JSON,
         so checked-in smoke artifacts stop churning on re-runs.
         """

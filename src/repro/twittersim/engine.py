@@ -32,7 +32,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-from ..obs import get_event_stream, get_registry
+from ..obs import get_event_stream, get_registry, resources
 from . import behavior
 from .campaigns import SpammerTasteModel
 from .clock import SECONDS_PER_HOUR, SimClock
@@ -268,6 +268,9 @@ class TwitterEngine:
             spam_mentions=stats.spam_mentions,
             suspensions=stats.suspensions,
             wall_s=round(elapsed, 6),
+            # Events never enter byte-stable report artifacts, so a
+            # live RSS reading here is free of determinism concerns.
+            rss_kb=resources.sample().max_rss_kb,
         )
         log.debug(
             "hour %d: %d tweets (%d posts, %d replies, %d spam), "

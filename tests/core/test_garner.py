@@ -1,0 +1,182 @@
+"""GarnerTelemetry: cursor idempotency, dedup, and snapshot math."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro import obs
+from repro.core.garner import GarnerTelemetry, metric_suffix
+from repro.core.network import ExposureLedger
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    obs.set_enabled(True)
+    yield
+    obs.reset()
+
+
+def capture(sender, labels, keys=None):
+    """A minimal stand-in: GarnerTelemetry only reads these fields."""
+    labels = tuple(labels)
+    return SimpleNamespace(
+        sender_id=sender,
+        sample_labels=labels,
+        attribute_keys=tuple(
+            keys
+            if keys is not None
+            else {label.split("=")[0] for label in labels}
+        ),
+    )
+
+
+def exposure_for(node_hours):
+    ledger = ExposureLedger()
+    for label, hours in node_hours.items():
+        ledger.by_sample[label] = hours
+    return ledger
+
+
+class TestMetricSuffix:
+    def test_band_labels_become_taxonomy_safe(self):
+        assert (
+            metric_suffix("friends_count=1e+06") == "friends_count_1e_06"
+        )
+        assert metric_suffix("followers_count") == "followers_count"
+        assert metric_suffix("Verified?") == "verified"
+
+    def test_no_leading_or_trailing_underscores(self):
+        suffix = metric_suffix("=weird=")
+        assert not suffix.startswith("_") and not suffix.endswith("_")
+
+
+class TestCursor:
+    def test_same_buffer_observed_once(self):
+        garner = GarnerTelemetry(exposure_for({}))
+        buffer = [capture(1, ["followers_count=100"])]
+        assert garner.observe(buffer) == 1
+        assert garner.observe(buffer) == 0
+        assert garner.observed == 1
+
+    def test_growing_buffer_only_folds_the_tail(self):
+        garner = GarnerTelemetry(exposure_for({}))
+        buffer = [capture(1, ["followers_count=100"])]
+        garner.observe(buffer)
+        buffer.append(capture(2, ["followers_count=100"]))
+        buffer.append(capture(3, ["friends_count=10"]))
+        assert garner.observe(buffer) == 2
+        assert garner.observed == 3
+        rows = {row["band"]: row for row in garner.band_snapshot()}
+        assert rows["followers_count=100"]["tweets"] == 2
+
+    def test_empty_tail_is_a_noop(self):
+        garner = GarnerTelemetry(exposure_for({}))
+        assert garner.observe([]) == 0
+        counters = obs.get_registry().snapshot()["counters"]
+        assert counters.get("pge.captures", 0) == 0
+
+
+class TestCounters:
+    def test_captures_counter_counts_every_tweet(self):
+        garner = GarnerTelemetry(exposure_for({}))
+        garner.observe(
+            [
+                capture(1, ["followers_count=100"]),
+                capture(1, ["followers_count=100"]),
+                capture(2, ["friends_count=10"]),
+            ]
+        )
+        counters = obs.get_registry().snapshot()["counters"]
+        assert counters["pge.captures"] == 3
+
+    def test_garner_counters_count_distinct_users_per_attribute(self):
+        garner = GarnerTelemetry(exposure_for({}))
+        garner.observe(
+            [
+                # Sender 1 hits followers_count twice: one garner.
+                capture(1, ["followers_count=100"]),
+                capture(1, ["followers_count=1000"]),
+                capture(2, ["followers_count=100"]),
+                capture(2, ["friends_count=10"]),
+            ]
+        )
+        counters = obs.get_registry().snapshot()["counters"]
+        assert counters["pge.garner.followers_count"] == 2
+        assert counters["pge.garner.friends_count"] == 1
+
+    def test_counter_cardinality_is_attribute_level(self):
+        # Per-band detail stays in events: no counter carries a full
+        # band label like followers_count=100.
+        garner = GarnerTelemetry(exposure_for({}))
+        garner.observe([capture(1, ["followers_count=100"])])
+        counters = obs.get_registry().snapshot()["counters"]
+        # Registry instruments persist (zeroed) across resets, so
+        # look at live values, not registered names.
+        garner_names = [
+            name
+            for name, value in counters.items()
+            if name.startswith("pge.garner.") and value
+        ]
+        assert garner_names == ["pge.garner.followers_count"]
+        assert not any("=" in name for name in counters)
+
+
+class TestBandSnapshot:
+    def test_rate_is_users_per_node_hour(self):
+        garner = GarnerTelemetry(
+            exposure_for({"followers_count=100": 8})
+        )
+        garner.observe(
+            [
+                capture(1, ["followers_count=100"]),
+                capture(1, ["followers_count=100"]),
+                capture(2, ["followers_count=100"]),
+            ]
+        )
+        (row,) = garner.band_snapshot()
+        assert row["tweets"] == 3
+        assert row["users"] == 2
+        assert row["node_hours"] == 8
+        assert row["rate"] == pytest.approx(2 / 8)
+
+    def test_zero_exposure_band_rates_zero(self):
+        garner = GarnerTelemetry(exposure_for({}))
+        garner.observe([capture(1, ["followers_count=100"])])
+        (row,) = garner.band_snapshot()
+        assert row["node_hours"] == 0
+        assert row["rate"] == 0.0
+
+    def test_sorted_by_rate_then_band(self):
+        garner = GarnerTelemetry(
+            exposure_for(
+                {
+                    "a=1": 10,
+                    "b=1": 1,
+                    "c=1": 1,
+                }
+            )
+        )
+        garner.observe(
+            [
+                capture(1, ["a=1", "b=1", "c=1"]),
+                capture(2, ["a=1"]),
+            ]
+        )
+        bands = [row["band"] for row in garner.band_snapshot()]
+        # b and c tie at rate 1.0 and order alphabetically; a trails
+        # at 0.2 despite the most users.
+        assert bands == ["b=1", "c=1", "a=1"]
+
+    def test_snapshot_is_cumulative_across_observes(self):
+        garner = GarnerTelemetry(
+            exposure_for({"followers_count=100": 4})
+        )
+        buffer = [capture(1, ["followers_count=100"])]
+        garner.observe(buffer)
+        first = garner.band_snapshot()
+        buffer.append(capture(2, ["followers_count=100"]))
+        garner.observe(buffer)
+        second = garner.band_snapshot()
+        assert first[0]["users"] == 1
+        assert second[0]["users"] == 2

@@ -1,0 +1,32 @@
+"""Fixture: raw writes targeting results/ledger/ (RPL207)."""
+import json
+from pathlib import Path
+
+
+def append_line():
+    with open("results/ledger/bench.jsonl", "a") as fh:
+        fh.write("{}\n")
+
+
+def rewrite():
+    Path("results/ledger/custom.jsonl").write_text("{}")
+
+
+def dump(payload):
+    with open("results/ledger/extra.jsonl", "w") as fh:
+        json.dump(payload, fh)
+
+
+def binary():
+    Path("results/ledger/blob.bin").write_bytes(b"x")
+
+
+def read_back():
+    with open("results/ledger/bench.jsonl") as fh:
+        return fh.read()
+
+
+def other_artifact(ledger, record):
+    ledger.append(record, timestamp="2026-01-01T00:00:00Z")
+    with open("results/report.json", "w") as fh:
+        fh.write("ok")

@@ -1,4 +1,4 @@
-"""RPL201-RPL206: observability-contract rules against fixtures."""
+"""RPL201-RPL207: observability-contract rules against fixtures."""
 
 from __future__ import annotations
 
@@ -10,6 +10,7 @@ OBS = FIXTURES / "obs_world" / "monitor_stats.py"
 EVENTS = FIXTURES / "obs_world" / "event_emitters.py"
 WRITER = FIXTURES / "repro" / "report_writer.py"
 CLEAN = FIXTURES / "repro" / "clean_library.py"
+LEDGER = FIXTURES / "obs" / "bad_ledger_write.py"
 
 
 def lint(*paths):
@@ -46,6 +47,10 @@ class TestSpanAndMetricTaxonomy:
             "label.minhash",
             "ml.cv_fold_seconds",
             "experiment.run_plan",
+            "pge.captures",
+            "pge.garner.followers_count",
+            "ledger.appended",
+            "dashboard.rendered",
         ):
             assert TAXONOMY_RE.match(name), name
         for name in ("labeling.minhash", "engine", "ml.Fit", "x.y"):
@@ -102,3 +107,25 @@ class TestArtifactWrites:
 
     def test_read_open_passes(self):
         assert [f for f in lint(CLEAN) if f.rule == "RPL205"] == []
+
+
+class TestLedgerWrites:
+    def test_raw_ledger_writes_flagged_with_lines(self):
+        findings = lint(LEDGER)
+        assert rule_lines(
+            findings, "RPL207", "bad_ledger_write.py"
+        ) == [7, 12, 16, 21]
+
+    def test_reads_and_api_appends_pass(self):
+        flagged = [f for f in lint(LEDGER) if f.rule == "RPL207"]
+        # The read-mode open (line 25), RunLedger.append call (line
+        # 30), and the non-ledger artifact write (line 31) all pass.
+        assert all(f.line not in (25, 30, 31) for f in flagged)
+
+    def test_non_ledger_writers_untouched(self):
+        assert [f for f in lint(WRITER) if f.rule == "RPL207"] == []
+        assert [f for f in lint(CLEAN) if f.rule == "RPL207"] == []
+
+    def test_messages_point_at_the_api(self):
+        flagged = [f for f in lint(LEDGER) if f.rule == "RPL207"]
+        assert all("RunLedger" in f.message for f in flagged)

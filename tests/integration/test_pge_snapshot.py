@@ -1,0 +1,119 @@
+"""Live pge.snapshot stream reconciles exactly with Table VI.
+
+The garner telemetry publishes a ``kind="live"`` snapshot every
+monitored hour and one ``kind="final"`` snapshot at classification.
+The final payload must be *bit-for-bit* the ``pge_by_sample`` ranking
+— at any worker count, since PR 4 guarantees classification parity
+between serial and pooled execution.
+"""
+
+import os
+
+import pytest
+
+import repro.obs as obs
+from repro.core.experiment import PseudoHoneypotExperiment
+from repro.core.pge import pge_by_sample, ranking_payload
+
+
+def run_experiment(workers=None, seed=31):
+    from repro.twittersim import SimulationConfig
+
+    exp = PseudoHoneypotExperiment(
+        SimulationConfig.small(seed=seed),
+        candidate_pool=400,
+        workers=workers,
+    )
+    exp.warm_up(3)
+    run = exp.collect_ground_truth(hours=4, n_targets=6, per_value=4)
+    dataset = exp.label_ground_truth(run)
+    detector = exp.train_detector(run, dataset)
+    outcome = exp.classify(detector, run)
+    return exp, run, outcome
+
+
+@pytest.fixture(scope="module")
+def snapshot_run():
+    obs.reset()
+    obs.set_enabled(True)
+    exp, run, outcome = run_experiment()
+    yield exp, run, outcome, obs.get_event_stream()
+    obs.reset()
+
+
+class TestLiveSnapshots:
+    def test_one_live_snapshot_per_monitored_hour(self, snapshot_run):
+        _exp, run, _outcome, stream = snapshot_run
+        live = [
+            event
+            for event in stream.events("pge.snapshot")
+            if event.attributes["kind"] == "live"
+        ]
+        assert len(live) == run.exposure.hours
+
+    def test_live_capture_totals_are_monotonic(self, snapshot_run):
+        *_rest, stream = snapshot_run
+        live = [
+            event
+            for event in stream.events("pge.snapshot")
+            if event.attributes["kind"] == "live"
+        ]
+        counts = [event.attributes["captures"] for event in live]
+        assert counts == sorted(counts)
+
+    def test_live_bands_rate_by_node_hours(self, snapshot_run):
+        *_rest, stream = snapshot_run
+        last_live = [
+            event
+            for event in stream.events("pge.snapshot")
+            if event.attributes["kind"] == "live"
+        ][-1]
+        for band in last_live.attributes["bands"]:
+            if band["node_hours"] > 0:
+                assert band["rate"] == pytest.approx(
+                    band["users"] / band["node_hours"], abs=1e-6
+                )
+            else:
+                assert band["rate"] == 0.0
+
+    def test_garner_counter_saw_every_capture(self, snapshot_run):
+        _exp, run, *_rest = snapshot_run
+        counters = obs.get_registry().snapshot()["counters"]
+        assert counters["pge.captures"] == run.n_captures
+
+
+class TestFinalSnapshot:
+    def test_final_snapshot_is_the_table_vi_ranking(self, snapshot_run):
+        _exp, run, outcome, stream = snapshot_run
+        final = stream.last("pge.snapshot")
+        assert final is not None
+        assert final.attributes["kind"] == "final"
+        expected = ranking_payload(pge_by_sample(outcome, run.exposure))
+        assert final.attributes["bands"] == expected
+        assert expected, "ranking unexpectedly empty"
+
+    def test_final_snapshot_carries_run_totals(self, snapshot_run):
+        _exp, run, _outcome, stream = snapshot_run
+        final = stream.last("pge.snapshot")
+        assert final.attributes["captures"] == run.n_captures
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4, reason="needs >= 4 cores"
+)
+class TestWorkerParity:
+    def test_final_bands_identical_serial_vs_pooled(self):
+        def final_bands(workers):
+            obs.reset()
+            obs.set_enabled(True)
+            try:
+                run_experiment(workers=workers, seed=77)
+                final = obs.get_event_stream().last("pge.snapshot")
+                assert final.attributes["kind"] == "final"
+                return final.attributes["bands"]
+            finally:
+                obs.reset()
+
+        serial = final_bands(0)
+        pooled = final_bands(4)
+        assert serial == pooled

@@ -16,6 +16,7 @@ from repro.obs.bench import (
     diff_benchmarks,
     find_previous,
 )
+from repro.obs.ledger import RunLedger, RunRecord
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -177,6 +178,8 @@ class TestBenchCli:
         cli = self.load_cli()
         # Baseline claims the phase used to take 50ms; the stubbed
         # current run sleeps 150ms -> x3 slowdown -> non-zero exit.
+        # --no-ledger exercises the legacy BENCH-file gate (a ledger
+        # trajectory would otherwise take precedence).
         result_with({"experiment.fake_phase": 0.05}, "run_a").save(
             tmp_path
         )
@@ -191,6 +194,7 @@ class TestBenchCli:
                 str(tmp_path),
                 "--runid",
                 "run_b",
+                "--no-ledger",
             ]
         )
         assert rc == 1
@@ -201,11 +205,55 @@ class TestBenchCli:
         monkeypatch.setattr(
             cli, "run_bench_workload", self.fake_workload(0.0)
         )
+        ledger_path = tmp_path / "ledger.jsonl"
         rc = cli.main(
-            ["--out-dir", str(tmp_path), "--runid", "run_a"]
+            [
+                "--out-dir",
+                str(tmp_path),
+                "--runid",
+                "run_a",
+                "--ledger",
+                str(ledger_path),
+            ]
         )
         assert rc == 0
         payload = json.loads(
             (tmp_path / "BENCH_run_a.json").read_text()
         )
         assert payload["schema"] == BENCH_SCHEMA
+        # The run also landed on the ledger (default-on behavior).
+        records = RunLedger(ledger_path).trajectory(kind="bench")
+        assert [record.runid for record in records] == ["run_a"]
+
+    def test_ledger_trajectory_gate_trips(self, tmp_path, monkeypatch):
+        cli = self.load_cli()
+        ledger_path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(ledger_path)
+        # Three comparable historical runs (same scale + workers as
+        # the CLI invocation below) at ~50ms median.
+        for i, wall in enumerate((0.05, 0.055, 0.05)):
+            hist = result_with(
+                {"experiment.fake_phase": wall}, f"hist_{i}"
+            )
+            hist.meta.update(scale="micro", workers=0)
+            ledger.append(RunRecord.from_bench(hist))
+        monkeypatch.setattr(
+            cli, "run_bench_workload", self.fake_workload(0.15)
+        )
+        rc = cli.main(
+            [
+                "--scale",
+                "micro",
+                "--out-dir",
+                str(tmp_path),
+                "--runid",
+                "run_slow",
+                "--ledger",
+                str(ledger_path),
+            ]
+        )
+        assert rc == 1
+        # The slow run is still recorded: the ledger is the history,
+        # the gate is advisory on top of it.
+        records = ledger.trajectory(kind="bench")
+        assert records[-1].runid == "run_slow"

@@ -1,0 +1,249 @@
+"""Dashboard rendering: offline, well-formed, chaos-aware HTML."""
+
+from html.parser import HTMLParser
+
+import pytest
+
+from repro import obs
+from repro.obs import RunRecord, render_dashboard, save_dashboard
+from repro.obs.dashboard import sparkline_svg
+from repro.obs.events import Event
+
+# Tags the renderer emits as self-contained (no close tag expected).
+_VOID_TAGS = {"meta", "br", "hr", "rect", "circle", "polyline"}
+
+
+class _BalanceChecker(HTMLParser):
+    """Fails on crossed or dangling tags — the smoke definition of
+    "well-formed" for a generated page."""
+
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack: list[str] = []
+        self.errors: list[str] = []
+
+    def handle_starttag(self, tag, attrs):
+        if tag not in _VOID_TAGS:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if tag in _VOID_TAGS:
+            return
+        if not self.stack or self.stack[-1] != tag:
+            self.errors.append(
+                f"</{tag}> closes <{self.stack[-1] if self.stack else '?'}>"
+            )
+        else:
+            self.stack.pop()
+
+
+def assert_well_formed(html_text):
+    checker = _BalanceChecker()
+    checker.feed(html_text)
+    checker.close()
+    assert not checker.errors, checker.errors
+    assert not checker.stack, f"unclosed tags: {checker.stack}"
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    obs.set_enabled(True)
+    yield
+    obs.reset()
+
+
+def record(runid, wall=1.0, captures=100):
+    return RunRecord(
+        runid=runid,
+        kind="bench",
+        meta={"scale": "micro", "workers": 0},
+        phases={
+            "experiment.classify": {
+                "wall_s": wall,
+                "cpu_s": wall * 0.9,
+                "calls": 1,
+                "max_rss_kb": 204800,
+            },
+            "experiment.warm_up": {"wall_s": wall / 2, "cpu_s": 0.1},
+        },
+        metrics={"network.captures": captures, "pge.captures": captures},
+        totals={"wall_s": wall * 1.5, "cpu_s": wall},
+    )
+
+
+def snapshot_event(seq=0, kind="live"):
+    if kind == "final":
+        bands = [
+            {
+                "band": "followers_count=1e+06",
+                "spammers": 12,
+                "node_hours": 40.0,
+                "pge": 0.3,
+            },
+            {
+                "band": "friends_count=100",
+                "spammers": 2,
+                "node_hours": 40.0,
+                "pge": 0.05,
+            },
+        ]
+    else:
+        bands = [
+            {
+                "band": "followers_count=1e+06",
+                "tweets": 90,
+                "users": 30,
+                "node_hours": 10.0,
+                "rate": 3.0,
+            },
+            {
+                "band": "friends_count=100",
+                "tweets": 5,
+                "users": 4,
+                "node_hours": 10.0,
+                "rate": 0.4,
+            },
+        ]
+    return Event(
+        seq=seq,
+        name="pge.snapshot",
+        t=float(seq),
+        attributes={"kind": kind, "hour": seq, "bands": bands},
+    )
+
+
+class TestRenderDashboard:
+    def test_empty_ledger_still_renders(self):
+        html_text = render_dashboard([])
+        assert_well_formed(html_text)
+        assert "0 runs on ledger" in html_text
+        assert "ledger is empty" in html_text
+        assert "no phase timings recorded" in html_text
+        assert "no pge.snapshot events" in html_text
+
+    def test_full_page_is_well_formed(self):
+        records = [record(f"r{i}", wall=1.0 + i / 10) for i in range(4)]
+        events = [snapshot_event(0), snapshot_event(1, kind="final")]
+        html_text = render_dashboard(records, events)
+        assert_well_formed(html_text)
+
+    def test_fully_offline(self):
+        records = [record("r1"), record("r2")]
+        events = [snapshot_event(0, kind="final")]
+        html_text = render_dashboard(records, events)
+        # The offline guarantee is blunt on purpose: no URL scheme
+        # substring anywhere, so no stylesheet/script/font/image can
+        # possibly be fetched.
+        assert "http" not in html_text
+
+    def test_trajectories_chart_totals_and_shared_counters(self):
+        records = [record("r1"), record("r2")]
+        html_text = render_dashboard(records)
+        assert "totals.wall_s" in html_text
+        assert "metrics.network.captures" in html_text
+        assert "metrics.pge.captures" in html_text
+        assert html_text.count("polyline") >= 4
+
+    def test_single_run_counters_not_charted(self):
+        first = record("r1")
+        second = record("r2")
+        second.metrics["ledger.appended"] = 1
+        html_text = render_dashboard([first, second])
+        assert "metrics.ledger.appended" not in html_text
+
+    def test_waterfall_shows_latest_phases_and_rss(self):
+        html_text = render_dashboard([record("r1"), record("latest")])
+        assert "latest" in html_text
+        assert "experiment.classify" in html_text
+        assert "200 MiB" in html_text  # 204800 KiB
+
+    def test_garner_table_live_kind(self):
+        html_text = render_dashboard([], [snapshot_event(0)])
+        assert "snapshot kind=live" in html_text
+        assert "followers_count=1e+06" in html_text
+        assert "<th>users</th>" in html_text
+        assert "<th>rate</th>" in html_text
+
+    def test_garner_table_final_kind_uses_pge_columns(self):
+        events = [snapshot_event(0), snapshot_event(1, kind="final")]
+        html_text = render_dashboard([], events)
+        assert "snapshot kind=final" in html_text
+        assert "<th>spammers</th>" in html_text
+        assert "<th>pge</th>" in html_text
+
+    def test_clean_run_degraded_panel(self):
+        html_text = render_dashboard([record("r1")])
+        assert "clean run" in html_text
+
+    def test_chaos_run_renders_degraded_counters(self):
+        events = [
+            Event(
+                seq=0,
+                name="faults.injected",
+                t=0.0,
+                attributes={"kind": "disconnect"},
+            ),
+            Event(
+                seq=1,
+                name="stream.reconnect",
+                t=1.0,
+                attributes={"lost": 3, "backfilled": 17},
+            ),
+            Event(
+                seq=2,
+                name="stream.reconnect",
+                t=2.0,
+                attributes={"lost": 1, "backfilled": 5},
+            ),
+            Event(
+                seq=3,
+                name="network.switch_deferred",
+                t=3.0,
+                attributes={},
+            ),
+            snapshot_event(4),
+        ]
+        html_text = render_dashboard([record("r1")], events)
+        assert_well_formed(html_text)
+        assert "clean run" not in html_text
+        assert "stream.reconnect" in html_text
+        assert "network.switch_deferred" in html_text
+        assert "faults.injected" in html_text
+        assert "captures lost</td><td>4</td>" in html_text
+        assert "captures backfilled</td><td>22</td>" in html_text
+
+    def test_metadata_escaped(self):
+        rec = record("r1")
+        rec.meta["note"] = "<script>alert(1)</script>"
+        html_text = render_dashboard([rec])
+        assert "<script>" not in html_text
+        assert "&lt;script&gt;" in html_text
+
+
+class TestSparkline:
+    def test_empty_series_renders_placeholder(self):
+        svg = sparkline_svg([])
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert "polyline" not in svg
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        svg = sparkline_svg([2.0, 2.0, 2.0])
+        assert "polyline" in svg and "nan" not in svg
+
+    def test_single_point_centered(self):
+        assert "110.0" in sparkline_svg([1.0])
+
+
+class TestSaveDashboard:
+    def test_writes_file_and_emits_event(self, tmp_path):
+        out = tmp_path / "nested" / "dashboard.html"
+        written = save_dashboard(out, [record("r1")], [snapshot_event(0)])
+        assert written == out
+        text = out.read_text(encoding="utf-8")
+        assert text.startswith("<!DOCTYPE html>")
+        assert "http" not in text
+        event = obs.get_event_stream().last("dashboard.rendered")
+        assert event is not None
+        assert event.attributes["bytes"] == len(text)
+        assert event.attributes["path"] == str(out)
