@@ -42,5 +42,5 @@ def results_dir() -> Path:
 
 def save_result(results_dir: Path, name: str, text: str) -> None:
     """Write one rendered artifact and echo it to stdout."""
-    (results_dir / name).write_text(text + "\n")
+    (results_dir / name).write_text(text + "\n")  # repro-lint: disable=RPL205 -- human-readable table render; the diffable JSON still goes through RunReport.save
     print(f"\n{text}\n[saved to results/{name}]")

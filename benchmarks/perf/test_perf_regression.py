@@ -75,7 +75,7 @@ def test_doctored_slow_baseline_trips_the_gate(tmp_path):
     for entry in payload["phases"].values():
         entry["wall_s"] = 0.05
     payload["totals"]["wall_s"] = 0.05 * len(payload["phases"])
-    baseline.write_text(json.dumps(payload))
+    baseline.write_text(json.dumps(payload))  # repro-lint: disable=RPL205 -- doctors a scratch tmp_path baseline to look slow; test scaffolding, not an artifact
     gated = run_bench(tmp_path, "--runid", "run_b")
     assert gated.returncode == 1
     assert "PERF REGRESSION" in gated.stderr
@@ -127,7 +127,7 @@ def test_doctored_slow_trajectory_trips_the_gate(tmp_path):
     # Medians only trust phases that took >= the comparability floor;
     # keep one phase just above it so the gate has a real baseline.
     entry["phases"]["experiment.run_plan"]["wall_s"] = 0.06
-    ledger.write_text(json.dumps(entry) + "\n")
+    ledger.write_text(json.dumps(entry) + "\n")  # repro-lint: disable=RPL205 -- doctors a scratch tmp_path ledger line to look fast; never touches results/ledger/
     gated = run_bench(
         tmp_path, "--runid", "run_b", "--ledger", str(ledger)
     )

@@ -22,9 +22,15 @@ else
 fi
 
 echo "== repro-lint (invariants) =="
+# SARIF lands in results/lint.sarif (gitignored) for CI annotation
+# upload; --max-seconds is the wall-clock budget the lint layer must
+# keep fitting as the tree and the rule catalog grow.
+mkdir -p results
 PYTHONPATH=src python -m repro.devtools.lint \
     src/repro scripts examples benchmarks \
-    --baseline lint-baseline.json
+    --baseline lint-baseline.json \
+    --format sarif --output results/lint.sarif \
+    --max-seconds 10
 
 echo "== tier-1 pytest =="
 PYTHONPATH=src python -m pytest -x -q

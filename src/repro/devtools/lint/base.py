@@ -44,6 +44,9 @@ class FileContext:
     #: ``from numpy.random import default_rng`` ->
     #: ``{"default_rng": "numpy.random.default_rng"}``
     from_imports: dict[str, str] = field(default_factory=dict)
+    #: Parsed ``# repro-lint: disable=`` pragmas (see
+    #: :mod:`.suppressions`); populated by the engine's loader.
+    pragmas: list = field(default_factory=list)
 
     @property
     def parts(self) -> tuple[str, ...]:
@@ -130,6 +133,9 @@ class Rule:
     category: str = "general"
     description: str = ""
     fix_hint: str = ""
+    #: ``error`` fails CI outright; ``warning`` renders advisory (and
+    #: maps to the SARIF ``warning`` level) but still exits 1.
+    severity: str = "error"
 
     def applies_to(self, ctx: FileContext) -> bool:
         """Whether this rule should see ``ctx`` at all."""
@@ -147,6 +153,7 @@ class Rule:
             col=getattr(node, "col_offset", 0),
             message=message,
             fix_hint=self.fix_hint,
+            severity=self.severity,
         )
 
 

@@ -5,9 +5,12 @@
     $ python -m repro.devtools.lint src/repro --format json
     $ python -m repro.devtools.lint src scripts --baseline lint-baseline.json
     $ python -m repro.devtools.lint --select RPL0 src/repro   # determinism only
+    $ python -m repro.devtools.lint --format sarif --output results/lint.sarif src
+    $ python -m repro.devtools.lint --fix src/repro           # repair hygiene findings
     $ python -m repro.devtools.lint --list-rules
 
-Exit codes: 0 clean, 1 active findings, 2 usage/baseline error.
+Exit codes: 0 clean, 1 active findings (or budget exceeded), 2
+usage/baseline error.
 """
 
 from __future__ import annotations
@@ -15,19 +18,30 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
+from pathlib import Path
 from typing import Sequence
 
 from .baseline import Baseline, BaselineError
-from .engine import ALL_RULES, run_lint, select_rules
+from .engine import (
+    ALL_RULES,
+    RuleSelectionError,
+    lint_paths,
+    select_rules,
+    validate_rule_ids,
+)
 from .findings import Finding
+from .fixes import FIXABLE_RULES, apply_fixes
+from .formats import to_github, to_sarif
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.devtools.lint",
         description=(
-            "repro-lint: AST invariant checker for determinism, "
-            "schema, observability, and hygiene contracts."
+            "repro-lint: AST + dataflow invariant checker for "
+            "determinism, parallel-safety, schema, observability, "
+            "and hygiene contracts."
         ),
     )
     parser.add_argument(
@@ -38,9 +52,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif", "github"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the formatted report to FILE instead of stdout "
+        "(a one-line text summary still goes to stdout)",
     )
     parser.add_argument(
         "--baseline",
@@ -66,6 +86,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="IDS",
         help="comma-separated rule-id prefixes to skip",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="autofix the mechanical hygiene findings "
+        f"({', '.join(sorted(FIXABLE_RULES))}) in place, then re-lint",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="fail (exit 1) if the lint pass exceeds S wall-clock "
+        "seconds — the CI budget guard",
     )
     parser.add_argument(
         "--root",
@@ -100,7 +134,8 @@ def _render_text(
     out,
 ) -> None:
     for finding in active:
-        print(finding.render(), file=out)
+        marker = " (warning)" if finding.severity == "warning" else ""
+        print(finding.render() + marker, file=out)
         if finding.fix_hint:
             print(f"    hint: {finding.fix_hint}", file=out)
     for entry in unused_entries:
@@ -136,6 +171,25 @@ def _render_json(
     print(file=out)
 
 
+def _format_report(args, active, suppressed, unused, n_files) -> str:
+    """The report in the chosen format, as a string."""
+    import io
+
+    buffer = io.StringIO()
+    if args.format == "json":
+        _render_json(active, suppressed, unused, n_files, buffer)
+    elif args.format == "sarif":
+        json.dump(
+            to_sarif(active, ALL_RULES), buffer, indent=2
+        )
+        buffer.write("\n")
+    elif args.format == "github":
+        buffer.write(to_github(active))
+    else:
+        _render_text(active, suppressed, unused, n_files, buffer)
+    return buffer.getvalue()
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     """Entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -151,14 +205,31 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             )
         return 0
 
-    rules = select_rules(
-        ALL_RULES, _split_ids(args.select), _split_ids(args.ignore)
-    )
+    select_ids = _split_ids(args.select)
+    ignore_ids = _split_ids(args.ignore)
+    try:
+        validate_rule_ids(select_ids)
+        validate_rule_ids(ignore_ids)
+    except RuleSelectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    rules = select_rules(ALL_RULES, select_ids, ignore_ids)
     if not rules:
         print("error: no rules selected", file=sys.stderr)
         return 2
 
-    findings, n_files = run_lint(args.paths, rules=rules, root=args.root)
+    started = time.perf_counter()
+    result = lint_paths(args.paths, rules=rules, root=args.root)
+
+    if args.fix:
+        contexts = _reload_contexts(args)
+        repaired = apply_fixes(contexts, result.findings)
+        if repaired:
+            for relpath in repaired:
+                print(f"fixed: {relpath}", file=out)
+            result = lint_paths(args.paths, rules=rules, root=args.root)
+    elapsed = time.perf_counter() - started
 
     baseline = Baseline.empty()
     if args.baseline:
@@ -167,11 +238,12 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         except BaselineError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-    active, suppressed, unused = baseline.partition(findings)
+    active, baseline_suppressed, unused = baseline.partition(
+        result.findings
+    )
+    suppressed = [*baseline_suppressed, *result.pragma_suppressed]
 
     if args.write_baseline:
-        from pathlib import Path
-
         Path(args.write_baseline).write_text(
             Baseline.render(active), encoding="utf-8"
         )
@@ -182,11 +254,42 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         )
         return 0
 
-    if args.format == "json":
-        _render_json(active, suppressed, unused, n_files, out)
+    report = _format_report(
+        args, active, suppressed, unused, result.n_files
+    )
+    if args.output:
+        target = Path(args.output)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(report, encoding="utf-8")
+        print(
+            f"{len(active)} finding(s), {len(suppressed)} suppressed, "
+            f"{result.n_files} file(s) checked -> {args.output}",
+            file=out,
+        )
     else:
-        _render_text(active, suppressed, unused, n_files, out)
+        out.write(report)
+
+    if args.max_seconds is not None and elapsed > args.max_seconds:
+        print(
+            f"error: lint took {elapsed:.2f}s, over the "
+            f"--max-seconds {args.max_seconds:g} budget",
+            file=sys.stderr,
+        )
+        return 1
     return 1 if active else 0
+
+
+def _reload_contexts(args):
+    """Fresh contexts for the fixer (sources straight from disk)."""
+    from .engine import iter_python_files, load_context
+
+    root = Path(args.root) if args.root else Path.cwd()
+    contexts = []
+    for path in iter_python_files(args.paths):
+        loaded = load_context(path, root)
+        if not isinstance(loaded, Finding):
+            contexts.append(loaded)
+    return contexts
 
 
 if __name__ == "__main__":

@@ -3,14 +3,22 @@
 Single-pass design: each file is read and parsed exactly once into a
 :class:`FileContext`; every applicable :class:`FileRule` hook sees
 every node of one ``ast.walk``; :class:`ProjectRule`\\ s then run over
-the full context list.  Keeping the whole of ``src/repro`` under the
-acceptance budget (<5s) is therefore bounded by parse time, which is
-milliseconds per file.
+the full context list, and :class:`GraphRule`\\ s share **one**
+:class:`~repro.devtools.lint.symbols.ProjectIndex` built for the run —
+adding dataflow rules does not add passes.  Keeping the whole tree
+under the CI budget (<10s, enforced by ``--max-seconds``) is therefore
+bounded by parse time plus one bounded graph traversal.
+
+After the rules run, inline ``# repro-lint: disable=`` pragmas are
+applied (and audited — stale or typo'd pragmas become RPL31x
+findings), so :func:`lint_paths` already returns the post-pragma view;
+the baseline file is a second, coarser layer applied by the CLI.
 """
 
 from __future__ import annotations
 
 import ast
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
@@ -44,7 +52,25 @@ from .observability_rules import (
     MetricNameRule,
     SpanLabelRule,
 )
+from .parallel_rules import (
+    WorkerEventEmissionRule,
+    WorkerGlobalMutationRule,
+    WorkerTaskPicklableRule,
+)
 from .schema_rules import KnownFeatureNameRule, SchemaShapeRule
+from .seed_taint import (
+    SeedTaintRule,
+    SiblingSeedReuseRule,
+    UnorderedIterationRule,
+)
+from .suppressions import (
+    MissingReasonRule,
+    UnknownSuppressedRule,
+    UnusedSuppressionRule,
+    apply_pragmas,
+    collect_pragmas,
+)
+from .symbols import GraphRule, ProjectIndex
 
 #: The full catalog, in rule-id order.
 ALL_RULES: tuple[Rule, ...] = (
@@ -54,6 +80,9 @@ ALL_RULES: tuple[Rule, ...] = (
     ThreadedSeedRule(),
     NoBuiltinHashRule(),
     NoBareSleepRule(),
+    SeedTaintRule(),
+    SiblingSeedReuseRule(),
+    UnorderedIterationRule(),
     SchemaShapeRule(),
     KnownFeatureNameRule(),
     SpanLabelRule(),
@@ -66,7 +95,16 @@ ALL_RULES: tuple[Rule, ...] = (
     MutableDefaultRule(),
     SwallowedExceptionRule(),
     NoPrintRule(),
+    UnusedSuppressionRule(),
+    UnknownSuppressedRule(),
+    MissingReasonRule(),
+    WorkerTaskPicklableRule(),
+    WorkerGlobalMutationRule(),
+    WorkerEventEmissionRule(),
 )
+
+#: Every catalog rule ID (pragma validation, CLI id validation).
+KNOWN_RULE_IDS = frozenset(rule.id for rule in ALL_RULES)
 
 PARSE_ERROR_RULE = "RPL000"
 
@@ -121,7 +159,33 @@ def load_context(path: Path, root: Path) -> FileContext | Finding:
         path=path, relpath=relpath, source=source, tree=tree
     )
     build_import_maps(ctx)
+    ctx.pragmas = collect_pragmas(source, relpath)
     return ctx
+
+
+class RuleSelectionError(ValueError):
+    """Raised for a ``--select``/``--ignore`` id matching no rule."""
+
+
+def validate_rule_ids(
+    ids: Sequence[str] | None, known: Iterable[str] | None = None
+) -> None:
+    """Every id/prefix must match at least one catalog rule.
+
+    Raises:
+        RuleSelectionError: naming the first unmatched id, so a typo
+            (``RPL40``, ``RLP205``) fails loudly instead of silently
+            selecting nothing.
+    """
+    if not ids:
+        return
+    known_ids = set(known) if known is not None else set(KNOWN_RULE_IDS)
+    for candidate in ids:
+        if not any(rid.startswith(candidate) for rid in known_ids):
+            raise RuleSelectionError(
+                f"unknown rule id or prefix {candidate!r} "
+                "(see --list-rules for the catalog)"
+            )
 
 
 def select_rules(
@@ -144,21 +208,47 @@ def select_rules(
     return chosen
 
 
-def run_lint(
+@dataclass
+class LintResult:
+    """Everything one lint run produced (pre-baseline)."""
+
+    #: Findings still standing after inline pragmas (includes the
+    #: RPL31x pragma-audit findings).
+    findings: list[Finding]
+    #: Findings an inline pragma suppressed.
+    pragma_suppressed: list[Finding]
+    n_files: int
+    #: Every pragma seen, with per-rule usage marked.
+    pragmas: list = field(default_factory=list)
+
+
+def lint_paths(
     paths: Sequence[str | Path],
     rules: Sequence[Rule] | None = None,
     root: str | Path | None = None,
-) -> tuple[list[Finding], int]:
-    """Lint ``paths`` with ``rules`` (default: the full catalog).
-
-    Returns:
-        ``(findings, n_files)`` — findings sorted by location, and
-        the number of files examined.
-    """
+) -> LintResult:
+    """Lint ``paths`` with ``rules`` (default: the full catalog)."""
     rules = list(ALL_RULES) if rules is None else list(rules)
     root = Path(root) if root is not None else Path.cwd()
     file_rules = [r for r in rules if isinstance(r, FileRule)]
-    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    graph_rules = [r for r in rules if isinstance(r, GraphRule)]
+    project_rules = [
+        r
+        for r in rules
+        if isinstance(r, ProjectRule) and not isinstance(r, GraphRule)
+    ]
+    pragma_rules = {
+        r.id: r
+        for r in rules
+        if isinstance(
+            r,
+            (
+                UnusedSuppressionRule,
+                UnknownSuppressedRule,
+                MissingReasonRule,
+            ),
+        )
+    }
 
     findings: list[Finding] = []
     contexts: list[FileContext] = []
@@ -187,5 +277,40 @@ def run_lint(
     for rule in project_rules:
         findings.extend(rule.check_project(contexts))
 
-    findings.sort(key=lambda f: f.sort_key)
-    return findings, n_files
+    if graph_rules:
+        index = ProjectIndex.build(contexts)
+        for rule in graph_rules:
+            findings.extend(rule.check_graph(contexts, index))
+
+    pragmas = [p for ctx in contexts for p in ctx.pragmas]
+    kept, suppressed = apply_pragmas(findings, pragmas)
+
+    selected_ids = {r.id for r in rules}
+    audit = pragma_rules.get("RPL311")
+    if audit is not None:
+        kept.extend(audit.check_pragmas(pragmas, set(KNOWN_RULE_IDS)))
+    audit = pragma_rules.get("RPL312")
+    if audit is not None:
+        kept.extend(audit.check_pragmas(pragmas))
+    audit = pragma_rules.get("RPL310")
+    if audit is not None:
+        kept.extend(audit.check_pragmas(pragmas, selected_ids))
+
+    kept.sort(key=lambda f: f.sort_key)
+    suppressed.sort(key=lambda f: f.sort_key)
+    return LintResult(
+        findings=kept,
+        pragma_suppressed=suppressed,
+        n_files=n_files,
+        pragmas=pragmas,
+    )
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    rules: Sequence[Rule] | None = None,
+    root: str | Path | None = None,
+) -> tuple[list[Finding], int]:
+    """Back-compat wrapper: ``(findings, n_files)`` of :func:`lint_paths`."""
+    result = lint_paths(paths, rules=rules, root=root)
+    return result.findings, result.n_files

@@ -18,6 +18,9 @@ class Finding:
         col: 0-based source column.
         message: what is wrong, specifically.
         fix_hint: the rule's standing advice on how to repair it.
+        severity: ``error`` (the default — fails the run) or
+            ``warning`` (advisory; renders differently and maps to
+            the SARIF ``warning`` level, but still exits 1).
     """
 
     rule: str
@@ -27,6 +30,7 @@ class Finding:
     col: int
     message: str
     fix_hint: str = field(default="", compare=False)
+    severity: str = field(default="error", compare=False)
 
     @property
     def sort_key(self) -> tuple:
@@ -42,6 +46,7 @@ class Finding:
             "col": self.col,
             "message": self.message,
             "fix_hint": self.fix_hint,
+            "severity": self.severity,
         }
 
     @classmethod
@@ -59,6 +64,7 @@ class Finding:
             col=int(data.get("col", 0)),
             message=data["message"],
             fix_hint=str(data.get("fix_hint", "")),
+            severity=str(data.get("severity", "error")),
         )
 
     def render(self) -> str:

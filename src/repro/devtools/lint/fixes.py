@@ -1,0 +1,281 @@
+"""Mechanical autofixes for the hygiene rules (``--fix``).
+
+Three rules are *mechanically* repairable — the fix is a local,
+behavior-preserving (or behavior-correcting) rewrite with one right
+answer:
+
+* **RPL301** — a mutable default becomes ``None`` plus an
+  ``if p is None: p = <original>`` guard at the top of the body;
+* **RPL303** — ``print(a, b)`` becomes ``log.info("%s %s", a, b)``
+  against the module's existing ``logging.getLogger`` binding (one is
+  inserted after the imports when the module has none);
+* **RPL006** — a bare ``time.sleep(...)`` *statement* is replaced by
+  ``pass`` (the sanctioned path is ``RetryPolicy``, which a fixer
+  cannot infer; removing the stall is the safe mechanical step).
+
+Fixes are driven by the run's **active findings** — a finding
+suppressed by a pragma or baseline entry is deliberate and stays put.
+Edits are computed as text-span replacements from AST positions and
+applied back-to-front, so earlier edits never invalidate later
+offsets.  Each fix removes the pattern its rule matches, which makes
+the pass idempotent: a second ``--fix`` run finds nothing to do.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .base import FileContext, call_name
+from .findings import Finding
+
+#: Rules ``--fix`` can repair.
+FIXABLE_RULES = frozenset({"RPL006", "RPL301", "RPL303"})
+
+
+@dataclass(frozen=True)
+class _Edit:
+    start: int
+    end: int
+    text: str
+
+
+def _line_starts(source: str) -> list[int]:
+    starts = [0]
+    for line in source.splitlines(keepends=True):
+        starts.append(starts[-1] + len(line))
+    return starts
+
+
+def _offset(starts: list[int], lineno: int, col: int) -> int:
+    return starts[lineno - 1] + col
+
+
+def _span(starts: list[int], node: ast.AST) -> tuple[int, int]:
+    return (
+        _offset(starts, node.lineno, node.col_offset),
+        _offset(starts, node.end_lineno, node.end_col_offset),
+    )
+
+
+def _segment(source: str, starts: list[int], node: ast.AST) -> str:
+    begin, end = _span(starts, node)
+    return source[begin:end]
+
+
+def _is_block_body(ctx: FileContext, stmt: ast.stmt) -> bool:
+    """Whether ``stmt`` starts a real (indented) block line."""
+    line = ctx.source.splitlines()[stmt.lineno - 1]
+    return not line[: stmt.col_offset].strip()
+
+
+def _module_logger_name(ctx: FileContext) -> str | None:
+    """The module-level ``logging.getLogger`` binding, if any."""
+    for stmt in ctx.tree.body:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        value = stmt.value
+        if (
+            isinstance(value, ast.Call)
+            and call_name(ctx, value) == "logging.getLogger"
+        ):
+            return target.id
+    return None
+
+
+def _logger_insertion(
+    ctx: FileContext, starts: list[int]
+) -> tuple[int, str]:
+    """Where and what to insert to give the module a logger."""
+    last_import: ast.stmt | None = None
+    docstring: ast.stmt | None = None
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            last_import = stmt
+        elif (
+            docstring is None
+            and not last_import
+            and isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str)
+        ):
+            docstring = stmt
+    anchor = last_import or docstring
+    position = (
+        starts[anchor.end_lineno] if anchor is not None else 0
+    )
+    pieces = []
+    if "logging" not in ctx.imports:
+        pieces.append("import logging")
+    pieces.append("log = logging.getLogger(__name__)")
+    prefix = "\n" if anchor is not None else ""
+    return position, prefix + "\n".join(pieces) + "\n"
+
+
+def _default_fixes(
+    ctx: FileContext, starts: list[int], lines: set[tuple[int, int]]
+) -> Iterable[_Edit]:
+    """RPL301: ``def f(p=[])`` -> ``p=None`` + body guard."""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        args = node.args
+        positional = [*args.posonlyargs, *args.args]
+        pairs: list[tuple[ast.arg, ast.expr]] = list(
+            zip(positional[len(positional) - len(args.defaults) :],
+                args.defaults)
+        )
+        pairs.extend(
+            (arg, default)
+            for arg, default in zip(args.kwonlyargs, args.kw_defaults)
+            if default is not None
+        )
+        hits = [
+            (arg, default)
+            for arg, default in pairs
+            if (default.lineno, default.col_offset) in lines
+        ]
+        if not hits or not _is_block_body(ctx, node.body[0]):
+            continue
+        guards = []
+        for arg, default in hits:
+            begin, end = _span(starts, default)
+            yield _Edit(begin, end, "None")
+            guards.append(
+                (arg.arg, _segment(ctx.source, starts, default))
+            )
+        body_start = node.body[0]
+        if (
+            isinstance(body_start, ast.Expr)
+            and isinstance(body_start.value, ast.Constant)
+            and isinstance(body_start.value.value, str)
+            and len(node.body) > 1
+        ):
+            body_start = node.body[1]
+        indent = " " * body_start.col_offset
+        guard_text = "".join(
+            f"{indent}if {name} is None:\n"
+            f"{indent}    {name} = {default_src}\n"
+            for name, default_src in guards
+        )
+        insert_at = starts[body_start.lineno - 1]
+        yield _Edit(insert_at, insert_at, guard_text)
+
+
+def _print_fixes(
+    ctx: FileContext,
+    starts: list[int],
+    lines: set[tuple[int, int]],
+    logger: str,
+) -> Iterable[_Edit]:
+    """RPL303: ``print(...)`` -> ``log.info(...)``."""
+    for node in ast.walk(ctx.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+            and (node.lineno, node.col_offset) in lines
+        ):
+            continue
+        if node.keywords or any(
+            isinstance(arg, ast.Starred) for arg in node.args
+        ):
+            continue  # sep=/file=/+args need human judgment
+        segments = [
+            _segment(ctx.source, starts, arg) for arg in node.args
+        ]
+        if not segments:
+            replacement = f'{logger}.info("")'
+        elif (
+            len(node.args) == 1
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            replacement = f"{logger}.info({segments[0]})"
+        else:
+            fmt = " ".join(["%s"] * len(segments))
+            replacement = (
+                f'{logger}.info("{fmt}", {", ".join(segments)})'
+            )
+        begin, end = _span(starts, node)
+        yield _Edit(begin, end, replacement)
+
+
+def _sleep_fixes(
+    ctx: FileContext, starts: list[int], lines: set[tuple[int, int]]
+) -> Iterable[_Edit]:
+    """RPL006: a bare ``time.sleep(...)`` statement -> ``pass``."""
+    for node in ast.walk(ctx.tree):
+        if not (
+            isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Call)
+            and call_name(ctx, node.value) == "time.sleep"
+            and (node.value.lineno, node.value.col_offset) in lines
+        ):
+            continue
+        begin, end = _span(starts, node)
+        yield _Edit(begin, end, "pass")
+
+
+def fix_source(
+    ctx: FileContext, findings: Sequence[Finding]
+) -> str | None:
+    """The repaired source for one file, or None if nothing applies."""
+    anchors: dict[str, set[tuple[int, int]]] = {}
+    for finding in findings:
+        if (
+            finding.path == ctx.relpath
+            and finding.rule in FIXABLE_RULES
+        ):
+            anchors.setdefault(finding.rule, set()).add(
+                (finding.line, finding.col)
+            )
+    if not anchors:
+        return None
+
+    starts = _line_starts(ctx.source)
+    edits: list[_Edit] = []
+    edits.extend(
+        _default_fixes(ctx, starts, anchors.get("RPL301", set()))
+    )
+    print_anchors = anchors.get("RPL303", set())
+    if print_anchors:
+        logger = _module_logger_name(ctx)
+        if logger is None:
+            logger = "log"
+            position, text = _logger_insertion(ctx, starts)
+            edits.append(_Edit(position, position, text))
+        edits.extend(
+            _print_fixes(ctx, starts, print_anchors, logger)
+        )
+    edits.extend(_sleep_fixes(ctx, starts, anchors.get("RPL006", set())))
+    if not edits:
+        return None
+
+    repaired = ctx.source
+    for edit in sorted(edits, key=lambda e: e.start, reverse=True):
+        repaired = (
+            repaired[: edit.start] + edit.text + repaired[edit.end :]
+        )
+    return repaired if repaired != ctx.source else None
+
+
+def apply_fixes(
+    contexts: Sequence[FileContext], findings: Sequence[Finding]
+) -> list[str]:
+    """Rewrite every fixable file in place; returns repaired relpaths."""
+    repaired: list[str] = []
+    for ctx in contexts:
+        fixed = fix_source(ctx, findings)
+        if fixed is None:
+            continue
+        # repro-lint: disable=RPL205 -- the fixer rewrites the linted source file itself, not a run artifact
+        ctx.path.write_text(fixed, encoding="utf-8")
+        repaired.append(ctx.relpath)
+    return repaired

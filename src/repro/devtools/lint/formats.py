@@ -1,0 +1,134 @@
+"""CI-facing output formats: SARIF 2.1.0 and GitHub annotations.
+
+SARIF is the interchange format GitHub code scanning (and most SARIF
+viewers) ingest: one ``run`` with a ``tool.driver`` carrying the rule
+catalog and a flat ``results`` list pointing back into it by
+``ruleIndex``.  Only the schema subset those consumers actually read
+is emitted — no optional noise.  The GitHub-annotation format is the
+plain-text fallback (``::error file=...``) that a workflow can pipe
+straight to the job log to annotate a PR without code-scanning setup.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .base import Rule
+from .findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+TOOL_NAME = "repro-lint"
+
+#: Finding severity -> SARIF result/notification level.
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _level(severity: str) -> str:
+    return _LEVELS.get(severity, "error")
+
+
+def to_sarif(
+    findings: Sequence[Finding],
+    rules: Iterable[Rule],
+    tool_version: str = "2.0",
+) -> dict:
+    """The findings as a SARIF 2.1.0 log (one run).
+
+    Every finding's rule appears in the driver catalog; findings from
+    rules outside ``rules`` (the parse pseudo-rule RPL000, suppression
+    audits) get catalog stubs so ``ruleIndex`` always resolves.
+    """
+    catalog: list[dict] = []
+    index_of: dict[str, int] = {}
+    for rule in rules:
+        index_of[rule.id] = len(catalog)
+        catalog.append(
+            {
+                "id": rule.id,
+                "name": rule.name,
+                "shortDescription": {"text": rule.description},
+                "defaultConfiguration": {
+                    "level": _level(rule.severity)
+                },
+                "help": {"text": rule.fix_hint},
+            }
+        )
+    for finding in findings:
+        if finding.rule not in index_of:
+            index_of[finding.rule] = len(catalog)
+            catalog.append(
+                {
+                    "id": finding.rule,
+                    "name": finding.category,
+                    "shortDescription": {"text": finding.category},
+                    "defaultConfiguration": {
+                        "level": _level(finding.severity)
+                    },
+                    "help": {"text": finding.fix_hint},
+                }
+            )
+
+    results = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": index_of[finding.rule],
+            "level": _level(finding.severity),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": tool_version,
+                        "informationUri": (
+                            "https://example.invalid/repro-lint"
+                        ),
+                        "rules": catalog,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def to_github(findings: Sequence[Finding]) -> str:
+    """GitHub workflow-command annotations, one line per finding.
+
+    ``::error file=path,line=N,col=C,title=RPLxxx::message`` — emitted
+    to a job log, these surface as inline PR annotations.
+    """
+    lines = []
+    for finding in findings:
+        level = _level(finding.severity)
+        message = finding.message.replace("%", "%25").replace(
+            "\n", "%0A"
+        )
+        lines.append(
+            f"::{level} file={finding.path},line={finding.line},"
+            f"col={finding.col + 1},title={finding.rule}::{message}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")

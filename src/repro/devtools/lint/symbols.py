@@ -1,0 +1,286 @@
+"""Project-level symbol table and import graph for dataflow rules.
+
+The PR 2 rules are *per-file*: each sees one AST and the file's own
+import aliases.  That is enough for "no wall-clock call here", but the
+parallel-safety and seed-taint families have to answer questions that
+cross module boundaries — "what function does the callable handed to
+``parallel_map`` actually resolve to, and what does *that* function
+touch?".  This module provides the shared substrate:
+
+* :func:`module_name_for` — a lint-relative path becomes a dotted
+  module name (``src/repro/ml/forest.py`` -> ``repro.ml.forest``);
+* :class:`ModuleTable` — one module's top-level bindings: function and
+  class definitions (with their method tables), simple assignments,
+  and imports with **relative imports resolved to absolute targets**
+  (the per-file maps in :mod:`.base` deliberately skip those);
+* :class:`ProjectIndex` — the whole linted tree: dotted-name
+  resolution that follows import chains and ``__init__`` re-exports
+  across modules, cycle-safe and longest-module-prefix first;
+* :class:`GraphRule` — the rule shape that receives the index: the
+  engine builds **one** index per run and hands it to every graph
+  rule, so adding rules does not add passes.
+
+Decorated functions/classes register like undecorated ones (the
+binding exists either way); ``import *`` is ignored (nothing in the
+tree uses it, and resolving it soundly needs runtime information).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from .base import FileContext, ProjectRule
+from .findings import Finding
+
+#: Leading path components stripped before deriving a module name, so
+#: ``src/repro/...`` and ``repro/...`` index identically.
+_STRIP_HEADS = ("src",)
+
+
+def module_name_for(relpath: str) -> str:
+    """Dotted module name of a lint-relative ``*.py`` path.
+
+    ``src/repro/ml/forest.py`` -> ``repro.ml.forest``;
+    ``src/repro/parallel/__init__.py`` -> ``repro.parallel``.
+    """
+    parts = list(Path(relpath).parts)
+    while parts and parts[0] in _STRIP_HEADS:
+        parts = parts[1:]
+    if not parts:
+        return ""
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    elif parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    return ".".join(parts)
+
+
+@dataclass
+class SymbolDef:
+    """One top-level binding in one module."""
+
+    name: str
+    module: str
+    #: ``function`` | ``class`` | ``assign`` | ``import``
+    kind: str
+    ctx: FileContext
+    node: ast.AST | None = None
+    #: Absolute dotted name an ``import`` binding aliases.
+    target: str | None = None
+    #: For classes: method name -> def node (one level, no bases).
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(
+        default_factory=dict
+    )
+    #: For assignments: the bound value expression.
+    value: ast.expr | None = None
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.module}.{self.name}" if self.module else self.name
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """A resolved dotted name: the binding plus any leftover attrs.
+
+    ``repro.ml.forest._TreeFitter.__call__`` resolves to the
+    ``_TreeFitter`` class def with ``attr == "__call__"``.
+    """
+
+    symbol: SymbolDef
+    attr: str = ""
+
+
+def _relative_base(module: str, is_package: bool, level: int) -> str:
+    """The absolute package a level-``level`` relative import names."""
+    parts = module.split(".") if module else []
+    if not is_package and parts:
+        parts = parts[:-1]
+    drop = level - 1
+    if drop:
+        parts = parts[:-drop] if drop <= len(parts) else []
+    return ".".join(parts)
+
+
+class ModuleTable:
+    """Top-level bindings of one parsed module."""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.module = module_name_for(ctx.relpath)
+        self.is_package = Path(ctx.relpath).name == "__init__.py"
+        self.defs: dict[str, SymbolDef] = {}
+        for stmt in ctx.tree.body:
+            self._bind_statement(stmt)
+
+    def _bind(self, **kwargs: object) -> None:
+        symbol = SymbolDef(module=self.module, ctx=self.ctx, **kwargs)
+        self.defs[symbol.name] = symbol
+
+    def _bind_statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._bind(name=stmt.name, kind="function", node=stmt)
+        elif isinstance(stmt, ast.ClassDef):
+            methods = {
+                item.name: item
+                for item in stmt.body
+                if isinstance(
+                    item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                )
+            }
+            self._bind(
+                name=stmt.name, kind="class", node=stmt, methods=methods
+            )
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self._bind(
+                        name=target.id,
+                        kind="assign",
+                        node=stmt,
+                        value=stmt.value,
+                    )
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name):
+                self._bind(
+                    name=stmt.target.id,
+                    kind="assign",
+                    node=stmt,
+                    value=stmt.value,
+                )
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = (
+                    alias.name
+                    if alias.asname
+                    else alias.name.split(".")[0]
+                )
+                self._bind(
+                    name=local, kind="import", node=stmt, target=target
+                )
+        elif isinstance(stmt, ast.ImportFrom):
+            base = (
+                _relative_base(self.module, self.is_package, stmt.level)
+                if stmt.level
+                else (stmt.module or "")
+            )
+            if stmt.level and stmt.module:
+                base = f"{base}.{stmt.module}" if base else stmt.module
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                target = f"{base}.{alias.name}" if base else alias.name
+                self._bind(
+                    name=local, kind="import", node=stmt, target=target
+                )
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            # TYPE_CHECKING guards / optional imports: bindings inside
+            # still exist at module level for resolution purposes.
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    self._bind_statement(child)
+
+
+class ProjectIndex:
+    """Every :class:`ModuleTable` of a run plus cross-module lookup."""
+
+    def __init__(self, tables: dict[str, ModuleTable]) -> None:
+        self.modules = tables
+
+    @classmethod
+    def build(cls, contexts: Iterable[FileContext]) -> "ProjectIndex":
+        tables: dict[str, ModuleTable] = {}
+        for ctx in contexts:
+            table = ModuleTable(ctx)
+            if table.module:
+                tables[table.module] = table
+        return cls(tables)
+
+    def table_for(self, ctx: FileContext) -> ModuleTable | None:
+        return self.modules.get(module_name_for(ctx.relpath))
+
+    def resolve(
+        self,
+        dotted: str,
+        _seen: frozenset[tuple[str, str]] | None = None,
+    ) -> Resolution | None:
+        """Resolve an absolute dotted name across the linted tree.
+
+        Follows ``import`` bindings (including ``__init__``
+        re-exports) transitively; an import cycle terminates with
+        ``None`` instead of recursing.  Returns ``None`` for names
+        that leave the linted file set (stdlib, numpy, ...).
+        """
+        seen = _seen or frozenset()
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            table = self.modules.get(module)
+            if table is None:
+                continue
+            name, rest = parts[cut], parts[cut + 1 :]
+            symbol = table.defs.get(name)
+            if symbol is None:
+                # The remainder may itself be a submodule
+                # (``repro.ml.forest`` matched at ``repro.ml``).
+                continue
+            if symbol.kind == "import" and symbol.target:
+                key = (module, name)
+                if key in seen:
+                    return None
+                chased = self.resolve(
+                    ".".join([symbol.target, *rest]),
+                    _seen=seen | {key},
+                )
+                if chased is not None:
+                    return chased
+                return Resolution(symbol=symbol, attr=".".join(rest))
+            return Resolution(symbol=symbol, attr=".".join(rest))
+        return None
+
+    def resolve_local(
+        self, table: ModuleTable, dotted: str
+    ) -> Resolution | None:
+        """Resolve a name as used *inside* ``table``'s module.
+
+        The head segment is looked up in the module's own bindings
+        first (functions, classes, assignments, import aliases), then
+        treated as an absolute name.
+        """
+        head, __, rest = dotted.partition(".")
+        symbol = table.defs.get(head)
+        if symbol is not None:
+            if symbol.kind == "import" and symbol.target:
+                absolute = (
+                    f"{symbol.target}.{rest}" if rest else symbol.target
+                )
+                resolved = self.resolve(absolute)
+                if resolved is not None:
+                    return resolved
+                return Resolution(symbol=symbol, attr=rest)
+            return Resolution(symbol=symbol, attr=rest)
+        return self.resolve(dotted)
+
+
+class GraphRule(ProjectRule):
+    """A whole-tree rule that runs over the shared :class:`ProjectIndex`.
+
+    The engine builds the index once per run and calls
+    :meth:`check_graph`; ``check_project`` exists so a graph rule can
+    still be driven standalone (tests, ad-hoc scripts).
+    """
+
+    def check_project(
+        self, contexts: list[FileContext]
+    ) -> Iterable[Finding]:
+        return self.check_graph(contexts, ProjectIndex.build(contexts))
+
+    def check_graph(
+        self, contexts: list[FileContext], index: ProjectIndex
+    ) -> Iterable[Finding]:
+        raise NotImplementedError

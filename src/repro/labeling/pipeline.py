@@ -218,7 +218,7 @@ class GroundTruthLabeler:
         if self.enable_suspended:
             with trace("label.suspended") as span:
                 before = (len(spam_tweet), len(spam_user))
-                for uid in find_suspended(self.rest, unique_users):
+                for uid in sorted(find_suspended(self.rest, unique_users)):
                     mark_user(uid, "suspended")
                 stage_span(span, "suspended", before)
 

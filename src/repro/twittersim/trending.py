@@ -115,7 +115,7 @@ class TrendingTracker:
         topics = set(recent) | set(previous)
         return {
             topic: (recent.get(topic, 0) + 1) / (previous.get(topic, 0) + 1)
-            for topic in topics
+            for topic in sorted(topics)
         }
 
     def top_trending_up(self, hour: int, k: int = 10) -> list[str]:

@@ -1,0 +1,21 @@
+"""Autofix fixture: copied to a scratch tree, repaired, re-linted.
+
+Path components give it both ``repro`` (RPL303 applies) and ``core``
+(deterministic scope, RPL006 applies).  ``--fix`` must repair every
+finding here and be a no-op on the second pass.
+"""
+
+import time
+
+
+def gather(item, acc=[]):
+    acc.append(item)
+    print("gathered", item)
+    time.sleep(0.5)
+    return acc
+
+
+def window(size, buckets={}):
+    if size not in buckets:
+        buckets[size] = size * 2
+    return buckets[size]

@@ -1,0 +1,6 @@
+"""Re-export surface for the symbol-table tests."""
+
+from .alpha import ping
+from .beta import pong as pong_alias
+
+__all__ = ["ping", "pong_alias"]

@@ -1,0 +1,26 @@
+"""One half of an import cycle (linted, never imported)."""
+
+from . import beta
+
+
+def ping():
+    return beta.pong()
+
+
+def decorated_factory(fn):
+    return fn
+
+
+@decorated_factory
+def shouted():
+    return "PING"
+
+
+class Sounder:
+    """Class with a method table the index must expose."""
+
+    def __init__(self, volume):
+        self.volume = volume
+
+    def sound(self):
+        return "ping" * self.volume

@@ -1,0 +1,9 @@
+"""Other half of the import cycle (linted, never imported)."""
+
+from .alpha import ping  # noqa: F401  (cycle back to alpha)
+
+LIMIT = 3
+
+
+def pong():
+    return "pong"

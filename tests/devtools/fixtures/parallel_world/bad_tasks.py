@@ -1,0 +1,43 @@
+"""Known-bad pool-task fixture (linted, never imported).
+
+Every violation below is asserted by exact rule id and line number in
+``test_parallel_rules.py`` — renumber carefully.
+"""
+
+from repro.obs import emit
+from repro.parallel import parallel_map
+
+from .helpers import tally
+
+COUNTS: dict = {}
+
+
+def run_lambda(items):
+    return parallel_map(lambda x: x + 1, items)  # line 16: RPL401
+
+
+def run_closure(items):
+    def local(x):
+        return x * 2
+
+    return parallel_map(local, items)  # line 23: RPL401
+
+
+def run_bound_lambda(items):
+    task = lambda x: x - 1  # noqa: E731
+    return parallel_map(task, items)  # line 28: RPL401
+
+
+def run_mutating(chunks):
+    # RPL402 fires in helpers.py (lines 14-15), reached through tally.
+    return parallel_map(tally, chunks)
+
+
+def noisy_task(x):
+    emit("engine.worker_step", value=x)  # line 37: RPL403
+    COUNTS[x] = True  # line 38: RPL402 (same-module global)
+    return x
+
+
+def run_noisy(items):
+    return parallel_map(noisy_task, items)

@@ -1,0 +1,46 @@
+"""Parallel-safe pool tasks: every shape here must stay clean.
+
+Mirrors the real call sites: a module-level function (``dhash``
+style), a ``_TreeFitter``-style callable instance, a bound method
+behind an ``x = x or Default()`` BoolOp (``minhash``/``neardup``
+style), and a ``functools.partial`` wrapper.
+"""
+
+from functools import partial
+
+from repro.parallel import parallel_map
+
+
+def double(x):
+    return x * 2
+
+
+class Scaler:
+    def __init__(self, factor):
+        self.factor = factor
+
+    def __call__(self, x):
+        return self.factor * x
+
+
+class Hasher:
+    def signature(self, text):
+        return len(text)
+
+
+def run_module_fn(items):
+    return parallel_map(double, items)
+
+
+def run_instance(items):
+    scale = Scaler(3)
+    return parallel_map(scale, items)
+
+
+def run_bound_method(items, hasher=None):
+    hasher = hasher or Hasher()
+    return parallel_map(hasher.signature, items)
+
+
+def run_partial(items):
+    return parallel_map(partial(double), items)

@@ -1,0 +1,22 @@
+"""Cross-module worker helpers (linted, never imported).
+
+``tally`` is handed to ``parallel_map`` from ``bad_tasks.py``; the
+RPL402 findings land *here*, on the module-global mutations the call
+graph reaches, proving the rules cross file boundaries.
+"""
+
+REGISTRY: dict = {}
+SEEN: list = []
+
+
+def record(item):
+    SEEN.append(item)  # line 13: RPL402 (mutating method on global)
+    REGISTRY[item] = True  # line 14: RPL402 (item store on global)
+
+
+def tally(items):
+    total = 0
+    for item in items:
+        total += item
+    record(total)
+    return total

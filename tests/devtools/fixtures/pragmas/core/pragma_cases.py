@@ -1,0 +1,22 @@
+"""Pragma fixture (linted, never imported).
+
+The directory component ``core`` puts this file in the determinism
+scope so RPL001/RPL005 fire; each pragma case below is asserted by
+exact rule id and line number in ``test_suppressions.py`` — renumber
+carefully.
+"""
+
+import random  # repro-lint: disable=RPL001 -- fixture: a justified trailing suppression
+
+# repro-lint: disable=RPL005 -- fixture: standalone pragma covers the next line
+bucket = hash("stable")
+
+digest = hash("other")  # repro-lint: disable=RPL005
+
+value = 3  # repro-lint: disable=RPL001 -- fixture: nothing fires here, pragma is stale
+
+token = hash("third")  # repro-lint: disable=RPL999 -- fixture: typo'd id suppresses nothing
+
+pretend = "text with # repro-lint: disable=RPL005 inside a string"
+
+leftover = random.Random  # kept so the import is "used" by the fixture

@@ -1,0 +1,45 @@
+"""Known-bad seed-taint fixture (linted, never imported).
+
+The directory component ``core`` puts this file in the determinism
+scope; every violation below is asserted by exact rule id and line
+number in ``test_seed_taint.py`` — renumber carefully.
+"""
+
+import os
+
+import numpy as np
+
+from ..entropy import wall_seed
+
+
+def entropy_direct():
+    seed = int(os.urandom(1)[0])
+    return np.random.default_rng(seed)  # line 17: RPL007 (entropy)
+
+
+def entropy_cross_module():
+    return np.random.default_rng(wall_seed())  # line 21: RPL007
+
+
+def masked_constant():
+    seed = 1234
+    return np.random.default_rng(seed)  # line 26: RPL007 (constant)
+
+
+def sibling_reuse(seed):
+    first = np.random.default_rng(seed)
+    second = np.random.default_rng(seed)  # line 31: RPL008
+    return first, second
+
+
+def siblings_derived_ok(seed):
+    first = np.random.default_rng(seed)
+    second = np.random.default_rng(seed + 1)  # clean: distinct stream
+    return first, second
+
+
+def loop_derived_ok(seed, n):
+    streams = []
+    for offset in range(n):
+        streams.append(np.random.default_rng(seed + offset))  # clean
+    return streams

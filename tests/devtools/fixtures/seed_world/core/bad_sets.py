@@ -1,0 +1,35 @@
+"""Known-bad unordered-iteration fixture (linted, never imported).
+
+The directory component ``core`` puts this file in the determinism
+scope; every violation below is asserted by exact rule id and line
+number in ``test_seed_taint.py`` — renumber carefully.
+"""
+
+from ..shingle import shingles
+
+
+def first_hit(tokens):
+    vocab = set(tokens)
+    for tok in vocab:  # line 13: RPL009 (for over set)
+        if tok.startswith("x"):
+            return tok
+    return None
+
+
+def as_list(tokens):
+    return list({t.lower() for t in tokens})  # line 20: RPL009
+
+
+def joined(parts: set) -> str:
+    return ",".join(parts)  # line 24: RPL009 (join over set param)
+
+
+def via_annotation(text):
+    return [s for s in shingles(text)]  # line 28: RPL009 (cross-module)
+
+
+def normalized(tokens):
+    vocab = set(tokens)
+    ordered = sorted(vocab)  # clean: sorted() normalizes
+    count = len(vocab)  # clean: len() never observes order
+    return list(ordered), count

@@ -1,0 +1,12 @@
+"""Entropy helper (linted, never imported).
+
+Lives *outside* the deterministic scope so nothing here fires RPL002;
+the point is that RPL007's taint follows the call edge from
+``core/bad_seeds.py`` into this module's return value.
+"""
+
+import time
+
+
+def wall_seed() -> int:
+    return int(time.time())

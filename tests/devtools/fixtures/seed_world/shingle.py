@@ -1,0 +1,9 @@
+"""Set-returning helper (linted, never imported).
+
+The ``-> set[str]`` return annotation is what RPL009 resolves through
+the project index when ``core/bad_sets.py`` iterates the result.
+"""
+
+
+def shingles(text: str) -> set[str]:
+    return {text[i : i + 3] for i in range(max(len(text) - 2, 1))}

@@ -45,6 +45,41 @@ class TestExitCodes:
         assert code == 2
 
 
+class TestRuleIdValidation:
+    def test_unknown_select_id_names_the_typo(self, capsys):
+        code, _ = run_cli(str(GOOD), "--select", "RLP001")
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown rule id or prefix 'RLP001'" in err
+        assert "--list-rules" in err
+
+    def test_unknown_ignore_id_rejected(self, capsys):
+        code, _ = run_cli(str(GOOD), "--ignore", "RPL99")
+        assert code == 2
+        assert "RPL99" in capsys.readouterr().err
+
+    def test_valid_prefix_passes_validation(self):
+        code, _ = run_cli(str(GOOD), "--select", "RPL0,RPL2")
+        assert code == 0
+
+    def test_typo_mixed_with_valid_ids_still_fails(self, capsys):
+        code, _ = run_cli(str(GOOD), "--select", "RPL001,RPL40x")
+        assert code == 2
+        assert "RPL40x" in capsys.readouterr().err
+
+
+class TestWallClockBudget:
+    def test_over_budget_exits_one_even_when_clean(self, capsys):
+        code, _ = run_cli(str(GOOD), "--max-seconds", "0")
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "--max-seconds" in err and "budget" in err
+
+    def test_generous_budget_keeps_clean_exit(self):
+        code, _ = run_cli(str(GOOD), "--max-seconds", "60")
+        assert code == 0
+
+
 class TestJsonFormat:
     def test_payload_shape(self):
         code, out = run_cli(str(BAD), "--format", "json")
@@ -62,6 +97,7 @@ class TestJsonFormat:
             "col",
             "message",
             "fix_hint",
+            "severity",
         }
 
     def test_select_and_ignore_prefixes(self):

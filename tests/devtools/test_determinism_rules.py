@@ -109,6 +109,9 @@ def test_family_selectable_by_prefix():
         "RPL004",
         "RPL005",
         "RPL006",
+        "RPL007",
+        "RPL008",
+        "RPL009",
     }
     findings, _ = run_lint([FIXTURES], rules=rules, root=FIXTURES)
     assert {f.rule for f in findings} <= {r.id for r in rules}

@@ -1,0 +1,124 @@
+"""Autofix round-trips: repair, verify, and prove idempotence."""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import (
+    FIXABLE_RULES,
+    apply_fixes,
+    fix_source,
+    lint_paths,
+)
+from repro.devtools.lint.engine import iter_python_files, load_context
+
+from tests.devtools.conftest import FIXTURES, REPO_ROOT
+
+SRC = FIXTURES / "fixable"
+
+
+@pytest.fixture
+def scratch(tmp_path) -> Path:
+    """A writable copy of the fixable tree (repro/core path kept)."""
+    target = tmp_path / "fixable"
+    shutil.copytree(SRC, target)
+    return target
+
+
+def contexts_for(root: Path):
+    loaded = [
+        load_context(path, root) for path in iter_python_files([root])
+    ]
+    return [ctx for ctx in loaded if not isinstance(ctx, type(None))]
+
+
+def run_fix(root: Path) -> list[str]:
+    result = lint_paths([root], root=root)
+    contexts = [
+        load_context(path, root)
+        for path in iter_python_files([root])
+    ]
+    return apply_fixes(contexts, result.findings)
+
+
+class TestRoundTrip:
+    def test_fix_clears_all_fixable_findings(self, scratch):
+        before = lint_paths([scratch], root=scratch)
+        assert {f.rule for f in before.findings} == FIXABLE_RULES
+
+        repaired = run_fix(scratch)
+        assert repaired == ["repro/core/needs_fix.py"]
+
+        after = lint_paths([scratch], root=scratch)
+        assert [
+            f for f in after.findings if f.rule in FIXABLE_RULES
+        ] == []
+
+    def test_repaired_source_compiles_and_has_the_rewrites(
+        self, scratch
+    ):
+        run_fix(scratch)
+        fixed = (scratch / "repro/core/needs_fix.py").read_text()
+        compile(fixed, "needs_fix.py", "exec")  # must stay valid
+        assert "acc=None" in fixed
+        assert "if acc is None:" in fixed
+        assert "acc = []" in fixed
+        assert "buckets=None" in fixed
+        assert "print(" not in fixed
+        assert 'log.info("%s %s", "gathered", item)' in fixed
+        assert "logging.getLogger(__name__)" in fixed
+        assert "time.sleep" not in fixed
+
+    def test_second_pass_is_a_noop(self, scratch):
+        run_fix(scratch)
+        first = (scratch / "repro/core/needs_fix.py").read_text()
+        assert run_fix(scratch) == []  # nothing left to repair
+        second = (scratch / "repro/core/needs_fix.py").read_text()
+        assert first == second
+
+    def test_repaired_module_behaves(self, scratch):
+        """The guard rewrite must preserve call semantics."""
+        run_fix(scratch)
+        module = scratch / "repro/core/needs_fix.py"
+        probe = (
+            "import runpy\n"
+            f"mod = runpy.run_path({str(module)!r})\n"
+            "assert mod['gather'](1) == [1]\n"
+            "assert mod['gather'](2) == [2]  # no shared default\n"
+            "assert mod['window'](4) == 8\n"
+            "print('OK')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", probe],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "OK" in proc.stdout
+
+
+class TestFixSource:
+    def test_untouched_file_returns_none(self):
+        root = REPO_ROOT / "src" / "repro"
+        path = root / "core" / "__init__.py"
+        ctx = load_context(path, REPO_ROOT)
+        assert fix_source(ctx, []) is None
+
+    def test_suppressed_findings_are_not_fixed(self, scratch):
+        """Only *active* findings drive fixes: a pragma'd print
+        stays put."""
+        module = scratch / "repro/core/needs_fix.py"
+        source = module.read_text().replace(
+            'print("gathered", item)',
+            'print("gathered", item)  # repro-lint: disable=RPL303'
+            " -- fixture: deliberate print",
+        )
+        module.write_text(source)
+        run_fix(scratch)
+        assert 'print("gathered", item)' in module.read_text()

@@ -50,3 +50,23 @@ def test_full_tree_clean_under_shipped_baseline():
     assert all(
         len(e.justification) >= 20 for e in baseline.entries
     ), "baseline justifications must be real sentences"
+
+
+def test_full_tree_lint_fits_the_ci_budget():
+    """check.sh runs the full tree with ``--max-seconds 10``; catch a
+    graph-engine slowdown here before it breaks CI."""
+    start = time.perf_counter()
+    _, n_files = run_lint(
+        [
+            REPO_ROOT / "src" / "repro",
+            REPO_ROOT / "scripts",
+            REPO_ROOT / "examples",
+            REPO_ROOT / "benchmarks",
+        ],
+        root=REPO_ROOT,
+    )
+    elapsed = time.perf_counter() - start
+    assert n_files >= 100, "lint walked suspiciously few files"
+    assert elapsed < 10.0, (
+        f"full-tree lint took {elapsed:.2f}s (CI budget 10s)"
+    )

@@ -1,0 +1,92 @@
+"""Parallel-safety rules (RPL401-RPL403) against ``parallel_world``.
+
+Exact rule-id + line assertions like the other fixture families; the
+cross-module cases (RPL402 findings landing in ``helpers.py`` for a
+task shipped from ``bad_tasks.py``) are the whole point of the graph
+engine.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint import ALL_RULES, run_lint, select_rules
+
+from tests.devtools.conftest import FIXTURES, rule_lines
+
+WORLD = FIXTURES / "parallel_world"
+
+
+def lint_world():
+    rules = select_rules(ALL_RULES, select=["RPL4"])
+    findings, _ = run_lint([WORLD], rules=rules, root=FIXTURES)
+    return findings
+
+
+class TestTaskPicklable:
+    def test_lambda_closure_and_bound_lambda(self):
+        findings = lint_world()
+        assert rule_lines(findings, "RPL401", "bad_tasks.py") == [
+            16,
+            23,
+            28,
+        ]
+
+    def test_messages_name_the_shape(self):
+        findings = [
+            f for f in lint_world() if f.rule == "RPL401"
+        ]
+        messages = " | ".join(f.message for f in findings)
+        assert "lambda" in messages
+        assert "closure" in messages
+
+
+class TestWorkerGlobalMutation:
+    def test_cross_module_reach(self):
+        findings = lint_world()
+        # tally (shipped in bad_tasks.py) calls record() in
+        # helpers.py, which mutates two module globals there.
+        assert rule_lines(findings, "RPL402", "helpers.py") == [13, 14]
+
+    def test_same_module_store(self):
+        findings = lint_world()
+        assert rule_lines(findings, "RPL402", "bad_tasks.py") == [38]
+
+    def test_finding_names_the_ship_site(self):
+        findings = [
+            f
+            for f in lint_world()
+            if f.rule == "RPL402" and f.path.endswith("helpers.py")
+        ]
+        assert all("bad_tasks.py:33" in f.message for f in findings)
+
+
+class TestWorkerEventEmission:
+    def test_emit_in_worker_flagged(self):
+        findings = lint_world()
+        assert rule_lines(findings, "RPL403", "bad_tasks.py") == [37]
+
+
+class TestGoodShapesStayClean:
+    def test_good_tasks_has_no_findings(self):
+        findings = lint_world()
+        assert [
+            f for f in findings if f.path.endswith("good_tasks.py")
+        ] == []
+
+    def test_full_catalog_also_clean_on_good_tasks(self):
+        findings, _ = run_lint(
+            [WORLD / "good_tasks.py"], root=FIXTURES
+        )
+        assert findings == []
+
+
+def test_real_parallel_package_is_exempt(repo_root):
+    """`repro.parallel` is the sanctioned machinery: `_run_chunk`
+    mutates obs state by design (reset/set_enabled) and must never be
+    flagged."""
+    rules = select_rules(ALL_RULES, select=["RPL4"])
+    findings, _ = run_lint(
+        [repo_root / "src" / "repro" / "parallel"],
+        rules=rules,
+        root=repo_root,
+    )
+    assert findings == []

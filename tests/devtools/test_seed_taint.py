@@ -1,0 +1,87 @@
+"""Seed-taint rules (RPL007-RPL009) against ``seed_world``.
+
+Covers the three taint verdicts (entropy — including through a
+cross-module call edge — constant masquerade, sibling reuse) and the
+unordered-iteration consumers, plus the shapes that must stay clean.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint import run_lint
+
+from tests.devtools.conftest import FIXTURES, rule_lines
+
+WORLD = FIXTURES / "seed_world"
+
+
+def lint_world():
+    findings, _ = run_lint([WORLD], root=FIXTURES)
+    return findings
+
+
+class TestSeedTaint:
+    def test_entropy_and_constant_lines(self):
+        findings = lint_world()
+        assert rule_lines(findings, "RPL007", "bad_seeds.py") == [
+            17,
+            21,
+            26,
+        ]
+
+    def test_cross_module_entropy_names_the_source(self):
+        [finding] = [
+            f
+            for f in lint_world()
+            if f.rule == "RPL007" and f.line == 21
+        ]
+        assert "time.time" in finding.message
+        assert "wall_seed" in finding.message
+
+    def test_constant_masquerade_message(self):
+        [finding] = [
+            f
+            for f in lint_world()
+            if f.rule == "RPL007" and f.line == 26
+        ]
+        assert "constant" in finding.message
+
+
+class TestSiblingSeedReuse:
+    def test_reuse_flagged_at_second_site(self):
+        findings = lint_world()
+        assert rule_lines(findings, "RPL008", "bad_seeds.py") == [31]
+
+    def test_derived_and_loop_variants_clean(self):
+        lines = rule_lines(lint_world(), "RPL008", "bad_seeds.py")
+        assert 36 not in lines and 43 not in lines
+
+
+class TestUnorderedIteration:
+    def test_consumer_lines(self):
+        findings = lint_world()
+        assert rule_lines(findings, "RPL009", "bad_sets.py") == [
+            13,
+            20,
+            24,
+            28,
+        ]
+
+    def test_sorted_and_len_stay_clean(self):
+        lines = rule_lines(lint_world(), "RPL009", "bad_sets.py")
+        assert all(line < 30 for line in lines)
+
+    def test_helpers_outside_scope_stay_clean(self):
+        findings = lint_world()
+        assert [
+            f
+            for f in findings
+            if f.path.endswith(("entropy.py", "shingle.py"))
+        ] == []
+
+
+def test_no_other_rules_fire_on_seed_world():
+    assert {f.rule for f in lint_world()} == {
+        "RPL007",
+        "RPL008",
+        "RPL009",
+    }
