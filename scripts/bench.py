@@ -42,6 +42,7 @@ from repro import configure_logging  # noqa: E402
 from repro.analysis import WORKLOAD_NAMES, run_bench_workload  # noqa: E402
 from repro.obs import (  # noqa: E402
     BenchResult,
+    HealthEngine,
     LiveMonitor,
     RunLedger,
     RunRecord,
@@ -137,6 +138,16 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
         help="tail the event stream to stderr while running",
     )
     parser.add_argument(
+        "--health",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "watch the run with the default health-rule pack and "
+            "record totals.alerts_fired (plus the incident list) in "
+            "the ledger; --no-health skips the watchdog entirely"
+        ),
+    )
+    parser.add_argument(
         "--no-gate",
         action="store_true",
         help="write the artifact but never fail on regressions",
@@ -193,6 +204,7 @@ def main(argv: list[str] | None = None) -> int:
     monitor = LiveMonitor() if args.live else None
     if monitor is not None:
         monitor.attach()
+    health = HealthEngine().attach() if args.health else None
     try:
         report = run_bench_workload(
             args.scale, seed=args.seed, workers=args.workers
@@ -200,6 +212,13 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if monitor is not None:
             monitor.detach()
+        if health is not None:
+            health.detach()
+    if health is not None and health.alerts_fired:
+        print(
+            f"health: {health.alerts_fired} alert(s) fired "
+            f"({', '.join(sorted(i.rule for i in health.incidents.incidents))})"
+        )
 
     current = BenchResult.capture(
         report,
@@ -229,6 +248,9 @@ def main(argv: list[str] | None = None) -> int:
             if _comparable(record, current)
         ]
         record = RunRecord.from_bench(current)
+        if health is not None:
+            record.totals["alerts_fired"] = health.alerts_fired
+            record.incidents = health.incidents.to_payload()
         if args.lint_wall:
             record.totals["lint_wall_s"] = round(
                 _lint_wall_seconds(), 4

@@ -43,6 +43,44 @@ echo "== tier-1 smoke subset under REPRO_WORKERS=2 =="
 REPRO_WORKERS=2 PYTHONPATH=src python -m pytest -q \
     tests/parallel tests/ml tests/labeling tests/chaos
 
+echo "== health smoke (alert wiring) =="
+# The SLO watchdog end to end: a deterministic faulted mini-run must
+# fire at least one alert of the injected kind, and the same run with
+# an empty fault plan must fire none.
+PYTHONPATH=src:tests python - <<'EOF'
+import repro.obs as obs
+from repro.faults import FaultKind, FaultPlan, ScheduledFault
+from repro.obs.health import HealthEngine
+
+from chaos.strategies import run_faulted_network
+
+plan = FaultPlan(
+    faults=(
+        ScheduledFault(hour=3, kind=FaultKind.STREAM_DISCONNECT),
+        ScheduledFault(hour=4, kind=FaultKind.REST_TIMEOUT, count=2),
+    )
+)
+obs.reset()
+obs.set_enabled(True)
+with HealthEngine() as faulted:
+    run_faulted_network(seed=7, plan=plan, hours=4)
+fired = {i.rule for i in faulted.incidents.incidents}
+assert faulted.alerts_fired >= 1, "faulted mini-run fired no alerts"
+assert "faults.stream_disconnect" in fired, f"missing kind alert: {fired}"
+
+obs.reset()
+with HealthEngine() as clean:
+    run_faulted_network(seed=7, plan=FaultPlan(), hours=4)
+assert clean.alerts_fired == 0, (
+    f"clean mini-run fired {clean.alerts_fired} alert(s): "
+    f"{[i.rule for i in clean.incidents.incidents]}"
+)
+print(
+    f"health smoke OK ({faulted.alerts_fired} alert(s) under faults, "
+    "0 clean)"
+)
+EOF
+
 if [[ "$fast" == "0" ]]; then
     echo "== perf smoke (benchmarks/perf) =="
     REPRO_SCALE="${REPRO_SCALE:-tiny}" PYTHONPATH=src \

@@ -47,7 +47,9 @@ def main() -> int:
     set_enabled(True)
 
     experiment = PseudoHoneypotExperiment(
-        SimulationConfig.small(seed=42), candidate_pool=500
+        SimulationConfig.small(seed=42),
+        candidate_pool=500,
+        health=True,
     )
     experiment.warm_up(4)
     collection = experiment.collect_ground_truth(
@@ -139,6 +141,26 @@ def main() -> int:
         failures.append(
             "final pge.snapshot bands != pge_by_sample ranking"
         )
+
+    # A fault-free run must be judged healthy: zero alerts, zero
+    # incidents, and no health.* counters registered (lazily created
+    # on first firing only) — the last point is what keeps this
+    # artifact byte-identical with the watchdog attached.
+    if experiment.health is not None and experiment.health.alerts_fired:
+        rules = sorted(
+            incident.rule
+            for incident in experiment.health.incidents.incidents
+        )
+        failures.append(
+            f"clean smoke run fired {experiment.health.alerts_fired} "
+            f"alert(s): {', '.join(rules)}"
+        )
+    for name in report.metrics["counters"]:
+        if name.startswith("health."):
+            failures.append(
+                f"clean run registered counter {name!r} (health "
+                "instruments must stay lazy)"
+            )
 
     # Every exported name must fit the taxonomy repro-lint enforces
     # statically — a renamed span/metric is drift, not a style nit.

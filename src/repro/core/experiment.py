@@ -22,12 +22,14 @@ import logging
 from contextlib import nullcontext
 from dataclasses import asdict, dataclass
 from pathlib import Path
+from typing import Sequence
 
 from ..faults import FaultInjector, FaultPlan
 from ..labeling.manual import ManualChecker
 from ..labeling.pipeline import GroundTruthLabeler, LabeledDataset
 from ..ml.base import Classifier
 from ..obs import LiveMonitor, RunReport, emit, profile
+from ..obs.health import HealthEngine, HealthRule
 from ..obs.ledger import RunLedger, RunRecord, stable_digest
 from ..parallel import executor
 from ..twittersim.api.rest import RestClient
@@ -81,6 +83,16 @@ class PseudoHoneypotExperiment:
             experiment seed executes it against this world.  An empty
             plan (or None) leaves the run byte-identical to an
             uninstrumented one.
+        health: SLO watchdog for the run.  ``True`` attaches a
+            :class:`~repro.obs.health.HealthEngine` with the default
+            rule pack; a sequence of
+            :class:`~repro.obs.health.HealthRule` attaches a custom
+            pack; ``False``/``None`` (default) attaches nothing.  The
+            engine subscribes to the process-global event stream for
+            the experiment's lifetime — call ``self.health.detach()``
+            to release it early.  A clean (fault-free) run fires no
+            alerts and keeps every report artifact byte-identical,
+            attached or not.
     """
 
     def __init__(
@@ -90,6 +102,7 @@ class PseudoHoneypotExperiment:
         candidate_pool: int = 6_000,
         workers: int | None = None,
         fault_plan: FaultPlan | None = None,
+        health: "bool | Sequence[HealthRule] | None" = None,
     ) -> None:
         self.config = config or SimulationConfig.medium()
         self.population = build_population(self.config)
@@ -109,6 +122,11 @@ class PseudoHoneypotExperiment:
         self.candidate_pool = candidate_pool
         self.manual_error_rate = manual_error_rate
         self.workers = workers
+        self.health: HealthEngine | None = None
+        if health:
+            self.health = HealthEngine(
+                rules=None if health is True else health
+            ).attach()
 
     def _parallel_scope(self):
         """An ``executor`` scope for this experiment's worker setting.
@@ -418,7 +436,9 @@ class PseudoHoneypotExperiment:
             ledger: if given, also distill the report into a
                 :class:`~repro.obs.ledger.RunRecord` — stamped with
                 this experiment's config digest, fault-plan digest,
-                and worker setting — and append it there.
+                and worker setting, plus the health engine's incident
+                list and ``totals.alerts_fired`` when ``health`` is
+                attached — and append it there.
             runid: ledger record id; defaults to the report's.
             timestamp: caller-injected ``ts`` for the ledger record
                 (this module never reads the wall clock).
@@ -447,6 +467,11 @@ class PseudoHoneypotExperiment:
                 runid=runid or str(report.meta.get("runid", "run")),
                 **record_meta,
             )
+            if self.health is not None:
+                record.incidents = self.health.incidents.to_payload()
+                record.totals["alerts_fired"] = (
+                    self.health.alerts_fired
+                )
             ledger.append(record, timestamp=timestamp)
             log.info("run record appended to %s", ledger.path)
         return report

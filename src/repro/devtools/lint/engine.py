@@ -47,6 +47,7 @@ from .observability_rules import (
     ArtifactWriteRule,
     EventNameRule,
     ExperimentSpanRule,
+    HealthRuleRule,
     InstrumentKindConflictRule,
     LedgerWriteRule,
     MetricNameRule,
@@ -92,6 +93,7 @@ ALL_RULES: tuple[Rule, ...] = (
     ArtifactWriteRule(),
     EventNameRule(),
     LedgerWriteRule(),
+    HealthRuleRule(),
     MutableDefaultRule(),
     SwallowedExceptionRule(),
     NoPrintRule(),

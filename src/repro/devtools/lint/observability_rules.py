@@ -12,9 +12,14 @@ documentation-only.
 from __future__ import annotations
 
 import ast
-import re
 from typing import Iterable
 
+from ...obs.alerts import SEVERITIES
+from ...obs.taxonomy import (
+    NAMESPACE_PREFIX_RE,
+    NAMESPACES,
+    TAXONOMY_RE,
+)
 from .base import (
     FileContext,
     FileRule,
@@ -26,25 +31,10 @@ from .base import (
 )
 from .findings import Finding
 
-#: The DESIGN.md dotted taxonomy: one namespace per pipeline layer.
-NAMESPACES = (
-    "engine",
-    "network",
-    "label",
-    "ml",
-    "experiment",
-    "parallel",
-    "faults",
-    "stream",
-    "capture",
-    "pge",
-    "ledger",
-    "dashboard",
-)
-TAXONOMY_RE = re.compile(
-    r"^(?:%s)\.[a-z0-9_]+(?:\.[a-z0-9_]+)*$" % "|".join(NAMESPACES)
-)
-NAMESPACE_PREFIX_RE = re.compile(r"^(?:%s)\." % "|".join(NAMESPACES))
+# NAMESPACES / TAXONOMY_RE / NAMESPACE_PREFIX_RE now live in
+# ``repro.obs.taxonomy`` (single source of truth shared with the
+# runtime HealthRule validation) and are re-exported from here for the
+# rule modules and tests that historically imported them.
 
 #: MetricsRegistry get-or-create methods, i.e. instrument kinds.
 INSTRUMENT_KINDS = ("counter", "gauge", "histogram")
@@ -460,3 +450,138 @@ class EventNameRule(FileRule):
         ) or (isinstance(func, ast.Attribute) and func.attr == "emit")
         if is_emit:
             yield from _label_findings(self, ctx, node, "event")
+
+
+def _is_emit_call(node: ast.Call) -> bool:
+    func = node.func
+    return (isinstance(func, ast.Name) and func.id == "emit") or (
+        isinstance(func, ast.Attribute) and func.attr == "emit"
+    )
+
+
+class HealthRuleRule(FileRule):
+    """RPL208: health rules and alert events honor the alert contract."""
+
+    id = "RPL208"
+    name = "health-rule-contract"
+    category = "observability"
+    description = (
+        "HealthRule declarations must carry a taxonomy-conformant "
+        "dotted name and a literal severity from "
+        "info/warn/critical, and every emitted `alert.*` event must "
+        "declare a severity= attribute from the same set — the "
+        "incident log, the dashboard's incidents panel, and the "
+        "LiveMonitor alert lines all key off those two fields."
+    )
+    fix_hint = (
+        "Name rules `<namespace>.<condition>` (e.g. "
+        "stream.reconnect_storm), pass severity='info'|'warn'|"
+        "'critical' literally, and stamp severity=... on every "
+        "emit(\"alert.*\", ...) call."
+    )
+
+    def visit_Call(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterable[Finding]:
+        func = node.func
+        is_ctor = (
+            isinstance(func, ast.Name) and func.id == "HealthRule"
+        ) or (
+            isinstance(func, ast.Attribute)
+            and func.attr == "HealthRule"
+        )
+        if is_ctor:
+            yield from self._check_rule_ctor(ctx, node)
+        elif _is_emit_call(node):
+            literal = literal_str_arg(node)
+            if literal is not None and literal.startswith("alert."):
+                if not TAXONOMY_RE.match(literal):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"alert event name {literal!r} does not "
+                        "match the `<namespace>.<dotted_snake>` "
+                        "taxonomy",
+                    )
+                yield from self._check_severity(
+                    ctx, node, f"alert event {literal!r}"
+                )
+
+    def _check_rule_ctor(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterable[Finding]:
+        name_expr = node.args[0] if node.args else None
+        severity_expr = node.args[1] if len(node.args) > 1 else None
+        for kw in node.keywords:
+            if kw.arg == "name":
+                name_expr = kw.value
+            elif kw.arg == "severity":
+                severity_expr = kw.value
+        if isinstance(name_expr, ast.Constant) and isinstance(
+            name_expr.value, str
+        ):
+            if not TAXONOMY_RE.match(name_expr.value):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"health rule name {name_expr.value!r} does not "
+                    "match the `<namespace>.<dotted_snake>` taxonomy "
+                    f"({'/'.join(NAMESPACES)})",
+                )
+        elif isinstance(name_expr, ast.JoinedStr):
+            prefix = joined_str_prefix(name_expr)
+            if not NAMESPACE_PREFIX_RE.match(prefix):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "health rule f-string name must start with a "
+                    "literal namespace prefix, got static prefix "
+                    f"{prefix!r}",
+                )
+        if severity_expr is None:
+            if not any(kw.arg is None for kw in node.keywords):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "HealthRule declares no severity "
+                    f"(one of {'/'.join(SEVERITIES)})",
+                )
+        elif isinstance(severity_expr, ast.Constant) and isinstance(
+            severity_expr.value, str
+        ):
+            if severity_expr.value not in SEVERITIES:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"health rule severity {severity_expr.value!r} "
+                    f"is not one of {'/'.join(SEVERITIES)}",
+                )
+
+    def _check_severity(
+        self, ctx: FileContext, node: ast.Call, what: str
+    ) -> Iterable[Finding]:
+        severity_expr: ast.expr | None = None
+        has_splat = False
+        for kw in node.keywords:
+            if kw.arg == "severity":
+                severity_expr = kw.value
+            elif kw.arg is None:
+                has_splat = True
+        if severity_expr is None:
+            if not has_splat:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{what} declares no severity= attribute "
+                    f"(one of {'/'.join(SEVERITIES)})",
+                )
+        elif isinstance(severity_expr, ast.Constant) and isinstance(
+            severity_expr.value, str
+        ):
+            if severity_expr.value not in SEVERITIES:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{what} severity {severity_expr.value!r} is "
+                    f"not one of {'/'.join(SEVERITIES)}",
+                )

@@ -52,6 +52,12 @@ Span taxonomy (dotted, one namespace per layer):
                  ``pge.snapshot`` event (``repro.core.garner``)
 ``ledger.*``     run-ledger appends (``ledger.appended``)
 ``dashboard.*``  dashboard renders (``dashboard.rendered``)
+``alert.*``      health-engine judgements: ``alert.fired`` /
+                 ``alert.resolved`` (``repro.obs.health``)
+``health.*``     health-engine self-accounting:
+                 ``health.alerts_fired`` / ``health.alerts_resolved``
+                 counters (lazily registered — clean runs keep their
+                 snapshots byte-identical)
 
 Everything is resettable (``reset()``) for test isolation and cheaply
 disableable (``set_enabled(False)``) so instrumented hot paths cost a
@@ -62,6 +68,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from .alerts import Incident, IncidentLog
 from .bench import (
     BenchDiff,
     BenchResult,
@@ -71,6 +78,12 @@ from .bench import (
 )
 from .dashboard import render_dashboard, save_dashboard
 from .events import Event, EventStream, JsonlSink
+from .health import (
+    HealthContext,
+    HealthEngine,
+    HealthRule,
+    default_rules,
+)
 from .ledger import (
     RunLedger,
     RunRecord,
@@ -91,7 +104,12 @@ __all__ = [
     "Event",
     "EventStream",
     "Gauge",
+    "HealthContext",
+    "HealthEngine",
+    "HealthRule",
     "Histogram",
+    "Incident",
+    "IncidentLog",
     "JsonlSink",
     "LiveMonitor",
     "MetricsRegistry",
@@ -104,6 +122,7 @@ __all__ = [
     "SUMMARY_HEADERS",
     "Span",
     "Tracer",
+    "default_rules",
     "diff_benchmarks",
     "diff_trajectory",
     "disabled",

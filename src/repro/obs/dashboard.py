@@ -13,7 +13,15 @@ self-contained ``results/dashboard.html``:
 * **garner heat table** — per-band tweets/users/node-hours and garner
   rate from the newest ``pge.snapshot`` event, shaded by rate;
 * **degraded-mode panel** — reconnects, backfills, losses, and
-  deferred switches tallied from fault/stream/capture events.
+  deferred switches tallied from fault/stream/capture events;
+* **incidents panel** — health-engine alert lifetimes (rule,
+  severity, fired/resolved hour, payload) from the latest ledger
+  record's ``incidents`` list, falling back to folding ``alert.*``
+  events out of the stream for runs not yet on the ledger.
+
+Every panel renders an explicit "no data" placeholder instead of
+raising on an empty ledger, a missing ``pge.snapshot``, or an
+alert-free run.
 
 Everything is inlined — no external stylesheets, scripts, fonts, or
 images — so the file renders fully offline (the smoke tests assert
@@ -26,6 +34,7 @@ import html
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from .alerts import SEVERITIES, IncidentLog
 from .events import Event
 from .ledger import RunRecord
 
@@ -61,7 +70,8 @@ td.name, th.name { text-align: left; }
 .bar { fill: #5b8dd9; } .spark { stroke: #5b8dd9; fill: none;
        stroke-width: 1.5; } .dot { fill: #e0b050; }
 .muted { color: #8b93a0; } .ok { color: #7bc47f; }
-.warn { color: #e0b050; }
+.warn { color: #e0b050; } .critical { color: #e06c5b; }
+.info { color: #5b8dd9; }
 """
 
 
@@ -279,6 +289,65 @@ def _render_degraded(events: Sequence[Event]) -> list[str]:
     return parts
 
 
+def _incident_rows(
+    record: RunRecord | None, events: Sequence[Event]
+) -> list[dict]:
+    """Incident dicts to render: ledger first, stream as fallback."""
+    if record is not None and record.incidents:
+        return [dict(entry) for entry in record.incidents]
+    return IncidentLog.from_events(events).to_payload()
+
+
+def _render_incidents(
+    record: RunRecord | None, events: Sequence[Event]
+) -> list[str]:
+    parts = ["<h2>Incidents</h2>"]
+    rows = _incident_rows(record, events)
+    if not rows:
+        parts.append(
+            '<p class="ok">no alerts fired (healthy run, or no '
+            "health engine attached)</p>"
+        )
+        return parts
+    open_count = sum(
+        1 for row in rows if row.get("resolved_hour") is None
+    )
+    parts.append(
+        f'<p class="muted">{len(rows)} alert(s) fired, '
+        f"{open_count} still open</p>"
+    )
+    parts.append(
+        "<table><tr><th class=\"name\">rule</th><th>severity</th>"
+        "<th>fired</th><th>resolved</th>"
+        "<th class=\"name\">payload</th></tr>"
+    )
+    for row in rows:
+        severity = str(row.get("severity", "info"))
+        css = severity if severity in SEVERITIES else "info"
+        resolved = row.get("resolved_hour")
+        resolved_text = (
+            '<span class="warn">open</span>'
+            if resolved is None
+            else f"h{_esc(resolved)}"
+        )
+        payload = "  ".join(
+            f"{_esc(key)}={_fmt(value)}"
+            for key, value in sorted(
+                dict(row.get("attributes", {})).items()
+            )
+        )
+        parts.append(
+            f'<tr><td class="name {css}">'
+            f"{_esc(row.get('rule', '?'))}</td>"
+            f'<td class="{css}">{_esc(severity)}</td>'
+            f"<td>h{_esc(row.get('fired_hour', '?'))}</td>"
+            f"<td>{resolved_text}</td>"
+            f'<td class="name muted">{payload or "-"}</td></tr>'
+        )
+    parts.append("</table>")
+    return parts
+
+
 def render_dashboard(
     records: Iterable[RunRecord],
     events: Iterable[Event] = (),
@@ -310,6 +379,7 @@ def render_dashboard(
     body = (
         _render_trajectories(records)
         + _render_waterfall(latest)
+        + _render_incidents(latest, events)
         + _render_garner(events)
         + _render_degraded(events)
     )

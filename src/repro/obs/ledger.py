@@ -43,8 +43,17 @@ from .bench import (
 )
 from .report import RunReport
 
-#: Format marker written into (and required from) every ledger line.
-LEDGER_SCHEMA = "repro-ledger/1"
+#: Format marker written into every ledger line.  v2 added the
+#: ``incidents`` list (health-engine alert lifetimes) and the
+#: ``totals.alerts_fired`` trend key.
+LEDGER_SCHEMA = "repro-ledger/2"
+
+#: The pre-health schema; still accepted by :meth:`RunRecord.from_dict`
+#: so trajectories written before the bump keep loading (their records
+#: read back with an empty ``incidents`` list).
+LEDGER_SCHEMA_V1 = "repro-ledger/1"
+
+_ACCEPTED_SCHEMAS = (LEDGER_SCHEMA, LEDGER_SCHEMA_V1)
 
 #: Repo-relative home of ledger files (kept OUT of .gitignore so the
 #: trajectory survives across checkouts and CI runs).
@@ -86,6 +95,11 @@ class RunRecord:
     #: Key run metrics (counter snapshot), e.g. ``network.captures``.
     metrics: dict[str, float] = field(default_factory=dict)
     totals: dict[str, float] = field(default_factory=dict)
+    #: Health-engine alert lifetimes for the run, in firing order —
+    #: each entry is one ``Incident.to_dict()``
+    #: (:meth:`repro.obs.alerts.IncidentLog.to_payload`).  New in v2;
+    #: v1 records read back with an empty list.
+    incidents: list[dict] = field(default_factory=list)
     #: Caller-injected timestamp; never read from the wall clock here.
     ts: str | None = None
 
@@ -183,6 +197,7 @@ class RunRecord:
             },
             "metrics": dict(sorted(self.metrics.items())),
             "totals": dict(self.totals),
+            "incidents": [dict(entry) for entry in self.incidents],
         }
         if self.ts is not None:
             data["ts"] = self.ts
@@ -192,12 +207,15 @@ class RunRecord:
     def from_dict(cls, data: dict) -> "RunRecord":
         """Inverse of :meth:`to_dict`.
 
+        Accepts both the current schema and ``repro-ledger/1``
+        (pre-health records have no ``incidents`` key).
+
         Raises:
-            ValueError: on a payload with the wrong schema marker or
+            ValueError: on a payload with an unknown schema marker or
                 no runid.
         """
         if not isinstance(data, dict) or (
-            data.get("schema") != LEDGER_SCHEMA
+            data.get("schema") not in _ACCEPTED_SCHEMAS
         ):
             raise ValueError(
                 f"not a {LEDGER_SCHEMA} payload: "
@@ -218,6 +236,9 @@ class RunRecord:
             },
             metrics=dict(data.get("metrics", {})),
             totals=dict(data.get("totals", {})),
+            incidents=[
+                dict(entry) for entry in data.get("incidents", [])
+            ],
             ts=data.get("ts"),
         )
 
@@ -299,6 +320,7 @@ class RunLedger:
                 phases=record.phases,
                 metrics=record.metrics,
                 totals=record.totals,
+                incidents=record.incidents,
                 ts=timestamp,
             )
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -450,6 +472,7 @@ __all__ = [
     "DEFAULT_LAST_K",
     "LEDGER_DIRNAME",
     "LEDGER_SCHEMA",
+    "LEDGER_SCHEMA_V1",
     "MIN_COMPARABLE_SECONDS",
     "RunLedger",
     "RunRecord",

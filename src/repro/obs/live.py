@@ -168,6 +168,28 @@ class LiveMonitor:
             f"top {top or '-'}"
         )
 
+    def _on_alert_fired(self, attrs: dict) -> None:
+        severity = str(attrs.get("severity", "info")).upper()
+        detail = "  ".join(
+            f"{key}={value}"
+            for key, value in sorted(attrs.items())
+            if key not in ("rule", "severity", "hour", "window")
+        )
+        line = (
+            f"ALERT {severity:<8} | {attrs.get('rule', '?')} "
+            f"fired at hour {attrs.get('hour', '?')}"
+        )
+        if detail:
+            line += f" | {detail}"
+        self._emit_line(line)
+
+    def _on_alert_resolved(self, attrs: dict) -> None:
+        self._emit_line(
+            f"alert ok       | {attrs.get('rule', '?')} resolved at "
+            f"hour {attrs.get('hour', '?')} "
+            f"(fired {attrs.get('fired_hour', '?')})"
+        )
+
     def _on_ml_cv_fold(self, attrs: dict) -> None:
         self._emit_line(
             f"cv fold {attrs.get('fold', '?'):>2} | "

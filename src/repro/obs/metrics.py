@@ -205,6 +205,32 @@ class MetricsRegistry:
             instrument = self._histograms[name] = Histogram(name, self)
         return instrument
 
+    # -- read-only lookups ------------------------------------------------
+
+    def counter_value(self, name: str) -> int | float:
+        """Current value of counter ``name`` **without creating it**.
+
+        The get-or-create accessors above register an instrument on
+        first touch, which would surface as a new zero-valued entry in
+        every later snapshot — a probe must never change the artifact
+        it probes (the health engine reads counters every simulated
+        hour).  Absent counters read as 0.
+        """
+        instrument = self._counters.get(name)
+        return instrument.value if instrument is not None else 0
+
+    def counter_values(self, prefix: str) -> dict[str, int | float]:
+        """Every registered counter under a dotted prefix (read-only).
+
+        Like :meth:`counter_value`, never creates instruments; the
+        result is sorted by name so iteration order is deterministic.
+        """
+        return {
+            name: counter.value
+            for name, counter in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
     # -- lifecycle --------------------------------------------------------
 
     def reset(self) -> None:

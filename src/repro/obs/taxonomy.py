@@ -1,0 +1,38 @@
+"""The canonical dotted-name taxonomy for spans, metrics, and events.
+
+Every observability name in the codebase — span labels, instrument
+names, event names, health-rule names — is ``<namespace>.<dotted
+snake_case>`` with one namespace per pipeline layer.  This module is
+the single source of truth: the runtime validates
+:class:`~repro.obs.health.HealthRule` names against it, and the
+``repro-lint`` observability rules (RPL201-208) import it to enforce
+the same shape statically, so the two can never drift.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: The DESIGN.md dotted taxonomy: one namespace per pipeline layer.
+NAMESPACES = (
+    "engine",
+    "network",
+    "label",
+    "ml",
+    "experiment",
+    "parallel",
+    "faults",
+    "stream",
+    "capture",
+    "pge",
+    "ledger",
+    "dashboard",
+    "alert",
+    "health",
+)
+TAXONOMY_RE = re.compile(
+    r"^(?:%s)\.[a-z0-9_]+(?:\.[a-z0-9_]+)*$" % "|".join(NAMESPACES)
+)
+NAMESPACE_PREFIX_RE = re.compile(r"^(?:%s)\." % "|".join(NAMESPACES))
+
+__all__ = ["NAMESPACES", "NAMESPACE_PREFIX_RE", "TAXONOMY_RE"]

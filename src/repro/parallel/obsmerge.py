@@ -41,11 +41,20 @@ def export_obs_state() -> dict:
 
     Called inside a pool worker after a chunk finishes; the result is
     shipped back to the parent and fed to :func:`merge_obs_state` /
-    :func:`record_chunk`.
+    :func:`record_chunk`.  ``alerts`` carries any ``alert.*`` events a
+    worker-side :class:`~repro.obs.health.HealthEngine` emitted during
+    the chunk (empty for ordinary chunks — fan-out tasks do not run
+    monitored hours), so alert history survives the worker exactly
+    like metric deltas do.
     """
     return {
         "metrics": get_registry().dump_state(),
         "spans": [span.to_dict() for span in get_tracer().roots],
+        "alerts": [
+            event.to_dict()
+            for event in get_event_stream().events()
+            if event.name.startswith("alert.")
+        ],
     }
 
 
@@ -65,13 +74,30 @@ def record_chunk(
 
     Merges the worker's metric deltas, appends a ``parallel.chunk``
     span (carrying the worker's own span forest as children) under the
-    currently open span, bumps the chunk instruments, and emits a
-    ``parallel.chunk`` event.  No-op while observability is disabled.
+    currently open span, bumps the chunk instruments, replays the
+    worker's ``alert.*`` events, and emits a ``parallel.chunk`` event.
+    No-op while observability is disabled.
+
+    Alert replay: each worker alert event is re-emitted on the parent
+    stream with its original attributes plus ``worker_chunk=index``.
+    The marker is what tells a parent-side
+    :class:`~repro.obs.health.HealthEngine` "fold this into the
+    incident log" (its *own* emissions are folded at the emit site and
+    skipped on the subscriber path) — and the worker's
+    ``health.alerts_*`` counters arrive through the ordinary metric
+    merge, so counters and incidents reconcile at any worker count.
+    Chunks merge in submission order, so the replayed sequence is
+    deterministic.
     """
     if not is_enabled():
         return
     if state:
         merge_obs_state(state)
+        stream = get_event_stream()
+        for payload in state.get("alerts", ()):
+            attributes = dict(payload.get("attributes", {}))
+            attributes["worker_chunk"] = index
+            stream.emit(payload["name"], **attributes)
     registry = get_registry()
     registry.counter("parallel.chunks").inc()
     registry.histogram("parallel.chunk_seconds").observe(seconds)

@@ -1,0 +1,159 @@
+"""Health engine under chaos: fault kinds map to alerts, clean runs stay
+silent, and the watchdog is a pure observer at any worker count.
+
+The tentpole acceptance sweep: random fault plans over several seeds,
+and for every fault kind the injector actually executed (the
+``faults.injected.<kind>`` counters are the ground truth — scheduled
+faults can be skipped if e.g. the stream is already down) the engine
+must have fired the matching ``faults.<kind>`` alert.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import PseudoHoneypotExperiment
+from repro.faults import FaultKind, FaultPlan, ScheduledFault
+from repro.obs import get_registry, reset, set_enabled
+from repro.obs.health import DEFAULT_FAULT_KINDS, HealthEngine
+from repro.twittersim.config import SimulationConfig
+
+from tests.chaos.strategies import WARM_UP_HOURS, run_faulted_network
+
+#: The acceptance criterion's >= 5 seeds.
+SWEEP_SEEDS = (3, 11, 23, 41, 57)
+HOURS = 5
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    reset()
+    set_enabled(True)
+    yield
+    reset()
+
+
+def injected_kinds() -> set[str]:
+    """Fault kinds the injector actually executed this run."""
+    registry = get_registry()
+    return {
+        name[len("faults.injected."):]
+        for name, value in registry.counter_values(
+            "faults.injected."
+        ).items()
+        if value > 0
+    }
+
+
+class TestRandomSweep:
+    def test_every_injected_kind_fires_its_alert(self):
+        covered: set[str] = set()
+        for seed in SWEEP_SEEDS:
+            reset()
+            set_enabled(True)
+            plan = FaultPlan.random_plan(
+                seed * 1000 + 1,
+                start_hour=WARM_UP_HOURS,
+                n_hours=HOURS,
+                intensity=2.0,
+            )
+            with HealthEngine() as health:
+                run = run_faulted_network(
+                    seed=seed, plan=plan, hours=HOURS
+                )
+            run.assert_reconciled()
+            kinds = injected_kinds()
+            assert kinds, f"seed {seed}: plan injected nothing"
+            fired = {i.rule for i in health.incidents.incidents}
+            for kind in kinds:
+                assert f"faults.{kind}" in fired, (
+                    f"seed {seed}: kind {kind!r} injected but its "
+                    f"alert never fired (fired: {sorted(fired)})"
+                )
+            # Alert hours are sim-hours inside the monitored run.
+            for incident in health.incidents.incidents:
+                assert WARM_UP_HOURS <= incident.fired_hour <= (
+                    WARM_UP_HOURS + HOURS
+                )
+            covered |= kinds
+        # The sweep as a whole must exercise the full kind catalog —
+        # otherwise the per-kind mapping above proves less than it says.
+        assert covered == set(DEFAULT_FAULT_KINDS), (
+            f"sweep never injected: {set(DEFAULT_FAULT_KINDS) - covered}"
+        )
+
+    def test_quiet_kinds_detected_via_counters(self):
+        # duplicate_delivery emits no events at all; only the injected
+        # counter moves.  The watchdog must still see it.  It is a
+        # rate-metered kind: every matched tweet in the armed hours is
+        # delivered twice.
+        plan = FaultPlan(
+            faults=tuple(
+                ScheduledFault(
+                    hour=WARM_UP_HOURS + offset,
+                    kind=FaultKind.DUPLICATE_DELIVERY,
+                    rate=1.0,
+                )
+                for offset in range(4)
+            )
+        )
+        with HealthEngine() as health:
+            run_faulted_network(seed=13, plan=plan, hours=4)
+        assert "faults.duplicate_delivery" in {
+            i.rule for i in health.incidents.incidents
+        }
+
+
+class TestCleanRun:
+    def test_zero_faults_zero_alerts_zero_new_counters(self):
+        before = set(get_registry().snapshot()["counters"])
+        with HealthEngine() as health:
+            run = run_faulted_network(
+                seed=7, plan=FaultPlan(), hours=HOURS
+            )
+        run.assert_reconciled()
+        assert health.alerts_fired == 0
+        assert health.incidents.to_payload() == []
+        assert health.active_alerts == {}
+        # The engine evaluated every hour yet registered nothing new —
+        # the property that keeps obs_smoke.json byte-identical.
+        assert health.evaluations == len(health.rules) * len(
+            health.history
+        )
+        after = set(get_registry().snapshot()["counters"])
+        assert not {
+            name for name in after - before if name.startswith("health.")
+        }
+
+
+class TestWorkerParity:
+    """``workers=`` must stay a pure performance knob for alerting."""
+
+    def _run(self, workers: int) -> list[dict]:
+        reset()
+        set_enabled(True)
+        plan = FaultPlan.random_plan(
+            21, start_hour=2, n_hours=4, intensity=1.5
+        )
+        experiment = PseudoHoneypotExperiment(
+            SimulationConfig.small(seed=21),
+            candidate_pool=400,
+            fault_plan=plan,
+            workers=workers,
+            health=True,
+        )
+        try:
+            experiment.warm_up(2)
+            run = experiment.collect_ground_truth(
+                hours=4, n_targets=4, per_value=3
+            )
+            experiment.label_ground_truth(run)
+            assert experiment.health is not None
+            assert experiment.health.alerts_fired > 0
+            return experiment.health.incidents.to_payload()
+        finally:
+            if experiment.health is not None:
+                experiment.health.detach()
+
+    def test_incident_payload_identical_at_any_worker_count(self):
+        assert self._run(workers=0) == self._run(workers=4)

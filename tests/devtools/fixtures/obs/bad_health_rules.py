@@ -1,0 +1,51 @@
+"""RPL208 fixture: health rules / alert events breaking the contract.
+
+Parsed by the lint tests, never imported — line numbers below are
+asserted exactly in ``tests/devtools/test_observability_rules.py``.
+"""
+
+from repro.obs import emit
+from repro.obs.health import HealthRule
+
+
+def predicate(ctx):
+    return False
+
+
+BAD_NAME = HealthRule(  # line 15: name off the taxonomy
+    name="watchdog_thing",
+    severity="warn",
+    predicate=predicate,
+)
+
+BAD_SEVERITY = HealthRule(  # line 21: unknown severity
+    name="stream.flap",
+    severity="fatal",
+    predicate=predicate,
+)
+
+NO_SEVERITY = HealthRule(  # line 27: no severity at all
+    name="stream.flap_streak",
+    predicate=predicate,
+)
+
+BAD_PREFIX = HealthRule(  # line 32: dynamic name, bad static prefix
+    name=f"watchdog.{predicate.__name__}",
+    severity="warn",
+    predicate=predicate,
+)
+
+GOOD_RULE = HealthRule(
+    name="stream.reconnect_storm",
+    severity="critical",
+    predicate=predicate,
+    window_hours=3,
+)
+
+
+def fire_alerts(payload):
+    emit("alert.fired", rule="stream.flap", hour=3)  # line 47: no severity
+    emit("alert.fired", rule="stream.flap", severity="bad", hour=3)  # 48
+    emit("alert.Fired", rule="stream.flap", severity="warn")  # line 49
+    emit("alert.fired", rule="stream.flap", **payload)  # splat: skipped
+    emit("alert.resolved", rule="stream.flap", severity="warn", hour=4)

@@ -129,3 +129,41 @@ class TestLedgerWrites:
     def test_messages_point_at_the_api(self):
         flagged = [f for f in lint(LEDGER) if f.rule == "RPL207"]
         assert all("RunLedger" in f.message for f in flagged)
+
+
+HEALTH = FIXTURES / "obs" / "bad_health_rules.py"
+
+
+class TestHealthRuleContract:
+    def test_violations_flagged_with_exact_lines(self):
+        findings = lint(HEALTH)
+        assert rule_lines(
+            findings, "RPL208", "bad_health_rules.py"
+        ) == [15, 21, 27, 32, 47, 48, 49]
+
+    def test_good_rule_and_stamped_events_pass(self):
+        # GOOD_RULE (line 38), the **payload splat (line 50), and the
+        # well-formed alert.resolved (line 51) produce no findings —
+        # the exact-line assertion above already excludes them, but
+        # spell the clean lines out so the fixture stays honest.
+        flagged = rule_lines(
+            lint(HEALTH), "RPL208", "bad_health_rules.py"
+        )
+        assert all(line not in flagged for line in (38, 50, 51))
+
+    def test_alert_and_health_namespaces_in_taxonomy(self):
+        for name in (
+            "alert.fired",
+            "alert.resolved",
+            "health.alerts_fired",
+            "health.alerts_resolved",
+        ):
+            assert TAXONOMY_RE.match(name), name
+        assert not TAXONOMY_RE.match("alerts.fired")
+
+    def test_bad_alert_name_also_fails_event_taxonomy(self):
+        # RPL206 and RPL208 agree: 'alert.Fired' breaks both.
+        findings = lint(HEALTH)
+        assert 49 in rule_lines(
+            findings, "RPL206", "bad_health_rules.py"
+        )

@@ -1,0 +1,127 @@
+"""Incident records: folding alert events, queries, serialization."""
+
+from repro.obs.alerts import (
+    ALERT_FIRED,
+    ALERT_RESOLVED,
+    SEVERITIES,
+    Incident,
+    IncidentLog,
+)
+from repro.obs.events import Event
+
+
+def fired(seq, rule="stream.reconnect_storm", severity="critical",
+          hour=3, **payload):
+    return Event(
+        seq=seq,
+        name=ALERT_FIRED,
+        t=float(seq),
+        attributes={
+            "rule": rule,
+            "severity": severity,
+            "hour": hour,
+            "window": 3,
+            **payload,
+        },
+    )
+
+
+def resolved(seq, rule="stream.reconnect_storm", hour=5):
+    return Event(
+        seq=seq,
+        name=ALERT_RESOLVED,
+        t=float(seq),
+        attributes={"rule": rule, "severity": "critical", "hour": hour},
+    )
+
+
+class TestIncident:
+    def test_round_trip_via_dict(self):
+        incident = Incident(
+            rule="capture.gap_loss",
+            severity="critical",
+            fired_hour=4,
+            resolved_hour=6,
+            attributes={"lost": 3},
+        )
+        assert Incident.from_dict(incident.to_dict()) == incident
+
+    def test_open_until_resolved(self):
+        incident = Incident("a.b", "warn", fired_hour=1)
+        assert incident.open
+        assert incident.to_dict()["resolved_hour"] is None
+        incident.resolved_hour = 2
+        assert not incident.open
+
+    def test_payload_attributes_serialize_sorted(self):
+        incident = Incident(
+            "a.b", "warn", 1, attributes={"z": 1, "a": 2}
+        )
+        assert list(incident.to_dict()["attributes"]) == ["a", "z"]
+
+
+class TestIncidentLog:
+    def test_fire_then_resolve_pairs_one_incident(self):
+        log = IncidentLog.from_events([fired(0, reconnects=4), resolved(1)])
+        (incident,) = log.incidents
+        assert incident.rule == "stream.reconnect_storm"
+        assert incident.fired_hour == 3
+        assert incident.resolved_hour == 5
+        assert incident.attributes == {"reconnects": 4}
+        assert not log.open_incidents
+
+    def test_lifecycle_keys_excluded_from_payload(self):
+        log = IncidentLog.from_events([fired(0, reconnects=4)])
+        assert "window" not in log.incidents[0].attributes
+        assert "severity" not in log.incidents[0].attributes
+
+    def test_refire_after_resolve_is_a_new_incident(self):
+        log = IncidentLog.from_events(
+            [fired(0, hour=3), resolved(1, hour=5), fired(2, hour=8)]
+        )
+        assert len(log) == 2
+        assert log.alerts_fired == 2
+        first, second = log.for_rule("stream.reconnect_storm")
+        assert not first.open and second.open
+        assert log.open_incidents == [second]
+
+    def test_resolve_without_open_incident_is_ignored(self):
+        log = IncidentLog.from_events([resolved(0)])
+        assert len(log) == 0
+
+    def test_non_alert_events_ignored(self):
+        noise = Event(
+            seq=0, name="network.capture", t=0.0, attributes={"hour": 1}
+        )
+        log = IncidentLog()
+        log(noise)  # callable: usable as a stream subscriber directly
+        assert len(log) == 0
+
+    def test_counts_by_severity_covers_every_severity(self):
+        log = IncidentLog.from_events(
+            [
+                fired(0),
+                fired(1, rule="faults.rest_timeout", severity="info"),
+            ]
+        )
+        counts = log.counts_by_severity()
+        assert set(counts) == set(SEVERITIES)
+        assert counts == {"info": 1, "warn": 0, "critical": 1}
+
+    def test_payload_round_trip_preserves_open_state(self):
+        log = IncidentLog.from_events(
+            [
+                fired(0, hour=3),
+                resolved(1, hour=5),
+                fired(2, rule="capture.gap_loss", severity="critical",
+                      hour=6, lost=2),
+            ]
+        )
+        clone = IncidentLog.from_payload(log.to_payload())
+        assert clone.to_payload() == log.to_payload()
+        assert [i.rule for i in clone.open_incidents] == [
+            "capture.gap_loss"
+        ]
+        # A resolve replayed onto the rebuilt log still closes it.
+        clone.record(resolved(3, rule="capture.gap_loss", hour=7))
+        assert not clone.open_incidents

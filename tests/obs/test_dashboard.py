@@ -213,6 +213,89 @@ class TestRenderDashboard:
         assert "captures lost</td><td>4</td>" in html_text
         assert "captures backfilled</td><td>22</td>" in html_text
 
+    def test_incidents_placeholder_without_alert_data(self):
+        # Graceful no-data path: empty ledger AND no alert events.
+        for html_text in (
+            render_dashboard([]),
+            render_dashboard([record("r1")]),
+        ):
+            assert "Incidents" in html_text
+            assert "no alerts fired" in html_text
+            assert_well_formed(html_text)
+
+    def test_incidents_panel_from_ledger_record(self):
+        rec = record("r1")
+        rec.incidents = [
+            {
+                "rule": "stream.reconnect_storm",
+                "severity": "critical",
+                "fired_hour": 3,
+                "resolved_hour": 5,
+                "attributes": {"reconnects": 4},
+            },
+            {
+                "rule": "capture.gap_loss",
+                "severity": "critical",
+                "fired_hour": 6,
+                "resolved_hour": None,
+                "attributes": {},
+            },
+        ]
+        html_text = render_dashboard([rec])
+        assert_well_formed(html_text)
+        assert "2 alert(s) fired, 1 still open" in html_text
+        assert "stream.reconnect_storm" in html_text
+        assert 'class="critical"' in html_text
+        assert "reconnects=4" in html_text
+        assert ">open</span>" in html_text
+
+    def test_incidents_fall_back_to_stream_events(self):
+        # No ledger incidents (e.g. live tailing): fold alert events.
+        events = [
+            Event(
+                seq=0,
+                name="alert.fired",
+                t=0.0,
+                attributes={
+                    "rule": "faults.rest_timeout",
+                    "severity": "info",
+                    "hour": 2,
+                    "window": 1,
+                    "count": 2,
+                },
+            ),
+            Event(
+                seq=1,
+                name="alert.resolved",
+                t=1.0,
+                attributes={
+                    "rule": "faults.rest_timeout",
+                    "severity": "info",
+                    "hour": 3,
+                },
+            ),
+        ]
+        html_text = render_dashboard([record("r1")], events)
+        assert_well_formed(html_text)
+        assert "faults.rest_timeout" in html_text
+        assert "1 alert(s) fired, 0 still open" in html_text
+        assert "no alerts fired" not in html_text
+
+    def test_incident_payload_escaped(self):
+        rec = record("r1")
+        rec.incidents = [
+            {
+                "rule": "capture.gap_loss",
+                "severity": "warn",
+                "fired_hour": 1,
+                "resolved_hour": None,
+                "attributes": {"note": "<img src=x>"},
+            }
+        ]
+        html_text = render_dashboard([rec])
+        assert "<img" not in html_text
+        assert "&lt;img" in html_text
+
     def test_metadata_escaped(self):
         rec = record("r1")
         rec.meta["note"] = "<script>alert(1)</script>"

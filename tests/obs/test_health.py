@@ -1,0 +1,443 @@
+"""HealthEngine: rule contract, hour folding, alert lifecycle, rule pack."""
+
+import pytest
+
+from repro import obs
+from repro.faults import FaultKind
+from repro.obs.alerts import ALERT_FIRED, ALERT_RESOLVED
+from repro.obs.health import (
+    DEFAULT_FAULT_KINDS,
+    HealthEngine,
+    HealthRule,
+    capture_rate_drop_rule,
+    default_rules,
+    fault_activity_rules,
+    gap_loss_rule,
+    garner_collapse_rule,
+    reconnect_storm_rule,
+    rss_ceiling_rule,
+    switch_deferral_rule,
+)
+from repro.obs.taxonomy import TAXONOMY_RE
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    obs.set_enabled(True)
+    yield
+    obs.reset()
+
+
+def tick(hour, tweets=100, rss_kb=50_000.0, **attrs):
+    """One ``engine.hour_completed`` — the evaluation trigger."""
+    obs.emit(
+        "engine.hour_completed",
+        hour=hour,
+        tweets=tweets,
+        rss_kb=rss_kb,
+        **attrs,
+    )
+
+
+def live_snapshot(hour, rate, band="followers_count=1e+06"):
+    obs.emit(
+        "pge.snapshot",
+        kind="live",
+        hour=hour,
+        bands=[
+            {
+                "band": band,
+                "tweets": int(rate * 10),
+                "users": 5,
+                "node_hours": 10.0,
+                "rate": rate,
+            }
+        ],
+    )
+
+
+def always(ctx):
+    return True
+
+
+def never(ctx):
+    return False
+
+
+class TestFaultKindMirror:
+    def test_mirror_never_drifts_from_fault_kind(self):
+        # obs cannot import repro.faults (layering), so the kinds live
+        # here as strings; this is the promised drift tripwire.
+        assert DEFAULT_FAULT_KINDS == tuple(k.value for k in FaultKind)
+
+
+class TestHealthRuleContract:
+    def test_name_must_match_taxonomy(self):
+        with pytest.raises(ValueError, match="taxonomy"):
+            HealthRule(name="watchdog", severity="warn", predicate=never)
+        with pytest.raises(ValueError, match="taxonomy"):
+            HealthRule(
+                name="Stream.Flap", severity="warn", predicate=never
+            )
+
+    def test_severity_must_be_known(self):
+        with pytest.raises(ValueError, match="severity"):
+            HealthRule(
+                name="stream.flap", severity="fatal", predicate=never
+            )
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="window_hours"):
+            HealthRule(
+                name="stream.flap",
+                severity="warn",
+                predicate=never,
+                window_hours=0,
+            )
+
+    def test_duplicate_rule_names_rejected(self):
+        rule = HealthRule(
+            name="stream.flap", severity="warn", predicate=never
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            HealthEngine(rules=[rule, rule])
+
+    def test_default_pack_names_unique_and_on_taxonomy(self):
+        rules = default_rules()
+        names = [rule.name for rule in rules]
+        assert len(names) == len(set(names))
+        assert all(TAXONOMY_RE.match(name) for name in names)
+        # One fault-activity rule per mirrored kind rides along.
+        assert {f"faults.{k}" for k in DEFAULT_FAULT_KINDS} <= set(names)
+        assert len(default_rules(include_faults=False)) == len(rules) - len(
+            DEFAULT_FAULT_KINDS
+        )
+
+
+class TestAlertLifecycle:
+    def rule(self, predicate, name="stream.flap", severity="warn"):
+        return HealthRule(
+            name=name, severity=severity, predicate=predicate, window_hours=1
+        )
+
+    def test_level_triggered_edge_emitted(self):
+        # Unhealthy for hours 1-2, healthy at 3: exactly one fired
+        # event, one resolved event, one incident.
+        def unhealthy_until_3(ctx):
+            return ctx.hour < 3
+
+        with HealthEngine(rules=[self.rule(unhealthy_until_3)]) as engine:
+            for hour in range(1, 5):
+                tick(hour)
+        stream = obs.get_event_stream()
+        assert len(stream.events(ALERT_FIRED)) == 1
+        assert len(stream.events(ALERT_RESOLVED)) == 1
+        (incident,) = engine.incidents.incidents
+        assert incident.fired_hour == 1
+        assert incident.resolved_hour == 3
+        assert engine.active_alerts == {}
+
+    def test_mapping_verdict_becomes_event_payload(self):
+        def verdict(ctx):
+            return {"count": 7}
+
+        with HealthEngine(rules=[self.rule(verdict)]) as engine:
+            tick(1)
+        event = obs.get_event_stream().last(ALERT_FIRED)
+        assert event.attributes["count"] == 7
+        assert event.attributes["rule"] == "stream.flap"
+        assert event.attributes["severity"] == "warn"
+        assert engine.incidents.incidents[0].attributes == {"count": 7}
+
+    def test_still_open_at_run_end(self):
+        with HealthEngine(rules=[self.rule(always)]) as engine:
+            tick(1)
+            tick(2)
+        (incident,) = engine.incidents.incidents
+        assert incident.open
+        assert engine.active_alerts == {"stream.flap": 1}
+
+    def test_health_counters_created_lazily(self):
+        # The byte-stable-snapshot guarantee: a clean run must not
+        # *register* anything new (reset() zeroes instruments but keeps
+        # their identity, so compare name sets, not membership).
+        before = set(obs.get_registry().snapshot()["counters"])
+        with HealthEngine(rules=[self.rule(never)]):
+            tick(1)
+        after = set(obs.get_registry().snapshot()["counters"])
+        assert after == before
+
+        with HealthEngine(rules=[self.rule(always)]):
+            tick(2)
+            tick(3)
+        counters = obs.get_registry().snapshot()["counters"]
+        assert counters["health.alerts_fired"] == 1
+
+    def test_rules_evaluated_in_declaration_order(self):
+        order = []
+
+        def first(ctx):
+            order.append("first")
+            return False
+
+        def second(ctx):
+            order.append("second")
+            return False
+
+        rules = [
+            self.rule(first, name="stream.first"),
+            self.rule(second, name="stream.second"),
+        ]
+        with HealthEngine(rules=rules) as engine:
+            tick(1)
+        assert order == ["first", "second"]
+        assert engine.evaluations == 2
+
+
+class TestWiring:
+    def test_attach_detach_idempotent(self):
+        engine = HealthEngine(rules=[])
+        engine.attach()
+        engine.attach()
+        tick(1)
+        engine.detach()
+        engine.detach()
+        tick(2)
+        assert [record.hour for record in engine.history] == [1]
+
+    def test_worker_chunk_alerts_folded_foreign_ones_ignored(self):
+        # Replays from pool workers carry worker_chunk (see
+        # repro.parallel.obsmerge); anything else on the alert names
+        # was emitted by some other engine and must not double-fold.
+        with HealthEngine(rules=[]) as engine:
+            obs.emit(
+                ALERT_FIRED,
+                rule="stream.flap",
+                severity="warn",
+                hour=2,
+            )
+            assert engine.alerts_fired == 0
+            obs.emit(
+                ALERT_FIRED,
+                rule="stream.flap",
+                severity="warn",
+                hour=2,
+                worker_chunk=0,
+            )
+            assert engine.alerts_fired == 1
+
+    def test_disabled_stream_fires_nothing(self):
+        obs.set_enabled(False)
+        with HealthEngine(rules=[]) as engine:
+            tick(1)
+        assert engine.history == []
+        assert engine.alerts_fired == 0
+
+
+class TestHourFolding:
+    def test_hour_health_distills_events_and_counters(self):
+        registry = obs.get_registry()
+        with HealthEngine(rules=[]) as engine:
+            obs.emit("network.capture", hour=1, category="spam")
+            obs.emit("network.capture", hour=1, category="benign")
+            registry.counter("faults.injected.rest_timeout").inc(2)
+            registry.counter("capture.lost").inc(3)
+            tick(1, tweets=250)
+            tick(2)
+        first, second = engine.history
+        assert first.hour == 1 and first.tweets == 250
+        assert first.captures == 2
+        assert first.event_counts["network.capture"] == 2
+        assert first.fault_kinds == {"rest_timeout": 2}
+        assert first.lost == 3
+        # Deltas, not cumulative values: the quiet hour sees zeros.
+        assert second.captures == 0
+        assert second.fault_kinds == {}
+        assert second.lost == 0
+
+    def test_deploy_marks_boundary_and_bumps_generation(self):
+        with HealthEngine(rules=[]) as engine:
+            obs.emit("network.deploy", nodes_selected=4)
+            live_snapshot(1, rate=2.0)
+            tick(1)
+            tick(2)
+            obs.emit("network.shutdown")
+            tick(3)
+        assert [h.boundary for h in engine.history] == [True, False, True]
+        assert engine.generation == 1
+        assert engine.snapshots[0]["generation"] == 1
+
+    def test_context_reads_do_not_create_counters(self):
+        captured = {}
+
+        def probe(ctx):
+            captured["value"] = ctx.counter("capture.lost")
+            return False
+
+        rule = HealthRule(
+            name="capture.probe", severity="info", predicate=probe
+        )
+        before = set(obs.get_registry().snapshot()["counters"])
+        with HealthEngine(rules=[rule]):
+            tick(1)
+        assert captured["value"] == 0
+        after = set(obs.get_registry().snapshot()["counters"])
+        assert after == before
+
+
+class TestRulePack:
+    def run_hours(self, engine, hours):
+        with engine:
+            for hour, setup in enumerate(hours, start=1):
+                setup(hour)
+                tick(hour)
+        return engine
+
+    def test_capture_rate_drop_fires_and_respects_boundary(self):
+        rule = capture_rate_drop_rule(window=2, min_trailing_mean=1.0)
+
+        def busy(hour):
+            for __ in range(10):
+                obs.emit("network.capture", hour=hour)
+
+        def quiet(hour):
+            pass
+
+        engine = self.run_hours(
+            HealthEngine(rules=[rule]), [busy, busy, quiet]
+        )
+        (incident,) = engine.incidents.incidents
+        assert incident.rule == "network.capture_rate_drop"
+        assert incident.attributes["trailing_mean"] == 10.0
+
+        # The same collapse right after a redeploy must not fire: the
+        # trailing walk stops at the boundary hour.
+        def redeploy_quiet(hour):
+            obs.emit("network.deploy", nodes_selected=4)
+
+        engine = self.run_hours(
+            HealthEngine(rules=[capture_rate_drop_rule(window=2,
+                                                       min_trailing_mean=1.0)]),
+            [busy, busy, redeploy_quiet, quiet],
+        )
+        assert engine.alerts_fired == 0
+
+    def test_capture_rate_drop_exempts_low_traffic(self):
+        rule = capture_rate_drop_rule(window=2, min_trailing_mean=6.0)
+
+        def trickle(hour):
+            obs.emit("network.capture", hour=hour)
+
+        engine = self.run_hours(
+            HealthEngine(rules=[rule]), [trickle, trickle, lambda h: None]
+        )
+        assert engine.alerts_fired == 0
+
+    def test_reconnect_storm_counts_failed_attempts_too(self):
+        rule = reconnect_storm_rule(window=2, threshold=3)
+
+        def flapping(hour):
+            obs.emit("stream.reconnect", lost=0, backfilled=2)
+            obs.emit("stream.reconnect_failed", attempt=1)
+
+        engine = self.run_hours(
+            HealthEngine(rules=[rule]), [flapping, flapping]
+        )
+        (incident,) = engine.incidents.incidents
+        assert incident.rule == "stream.reconnect_storm"
+        assert incident.severity == "critical"
+        assert incident.attributes["reconnects"] == 4
+        assert incident.fired_hour == 2
+
+    def test_gap_loss_fires_on_counter_growth_then_resolves(self):
+        registry = obs.get_registry()
+
+        def lossy(hour):
+            registry.counter("capture.lost").inc(2)
+
+        engine = self.run_hours(
+            HealthEngine(rules=[gap_loss_rule()]),
+            [lossy, lambda h: None],
+        )
+        (incident,) = engine.incidents.incidents
+        assert incident.attributes == {"lost": 2}
+        assert incident.resolved_hour == 2
+
+    def test_switch_deferral_needs_a_full_streak(self):
+        rule = switch_deferral_rule(streak=2)
+
+        def deferred(hour):
+            obs.emit("network.switch_deferred", hour=hour)
+
+        engine = self.run_hours(
+            HealthEngine(rules=[rule]), [deferred, lambda h: None, deferred]
+        )
+        assert engine.alerts_fired == 0
+        engine = self.run_hours(
+            HealthEngine(rules=[switch_deferral_rule(streak=2)]),
+            [deferred, deferred],
+        )
+        (incident,) = engine.incidents.incidents
+        assert incident.attributes == {"streak": 2}
+
+    def test_garner_collapse_on_top_band_rate(self):
+        rule = garner_collapse_rule(window=2, collapse_ratio=0.5)
+        rates = [4.0, 4.0, 0.5]
+
+        def snapshot(hour):
+            live_snapshot(hour, rate=rates[hour - 1])
+
+        engine = self.run_hours(
+            HealthEngine(rules=[rule]), [snapshot] * 3
+        )
+        (incident,) = engine.incidents.incidents
+        assert incident.rule == "pge.garner_collapse"
+        assert incident.attributes["peak"] == 4.0
+
+    def test_garner_collapse_never_spans_a_redeploy(self):
+        rule = garner_collapse_rule(window=2, collapse_ratio=0.5)
+        rates = [4.0, 4.0, 0.5]
+
+        def snapshot(hour):
+            if hour == 3:
+                # Teardown/redeploy: garner telemetry restarts, the old
+                # generation's peak must not judge the new network.
+                obs.emit("network.deploy", nodes_selected=4)
+            live_snapshot(hour, rate=rates[hour - 1])
+
+        engine = self.run_hours(
+            HealthEngine(rules=[rule]), [snapshot] * 3
+        )
+        assert engine.alerts_fired == 0
+
+    def test_rss_ceiling_needs_ratio_and_absolute_growth(self):
+        engine = HealthEngine(rules=[rss_ceiling_rule()])
+        with engine:
+            tick(1, rss_kb=50_000.0)
+            tick(2, rss_kb=400_000.0)
+        (incident,) = engine.incidents.incidents
+        assert incident.rule == "engine.rss_ceiling"
+
+        # 4x growth but under the 128 MiB absolute floor: no alert.
+        engine = HealthEngine(rules=[rss_ceiling_rule()])
+        with engine:
+            tick(1, rss_kb=10_000.0)
+            tick(2, rss_kb=40_000.0)
+        assert engine.alerts_fired == 0
+
+    def test_fault_activity_rules_read_counter_deltas(self):
+        # duplicate_delivery is a "quiet" kind: no events, only the
+        # injected counter moves — the rule must still see it.
+        rules = fault_activity_rules(window=1)
+        registry = obs.get_registry()
+        engine = HealthEngine(rules=rules)
+        with engine:
+            registry.counter("faults.injected.duplicate_delivery").inc(3)
+            tick(1)
+            tick(2)
+        (incident,) = engine.incidents.incidents
+        assert incident.rule == "faults.duplicate_delivery"
+        assert incident.severity == "info"
+        assert incident.attributes == {"count": 3}
+        assert incident.resolved_hour == 2

@@ -7,6 +7,7 @@ import pytest
 from repro import obs
 from repro.obs import RunLedger, RunRecord, diff_trajectory, stable_digest
 from repro.obs.bench import BenchResult
+from repro.obs.ledger import LEDGER_SCHEMA, LEDGER_SCHEMA_V1
 
 
 @pytest.fixture(autouse=True)
@@ -56,8 +57,36 @@ class TestRunRecord:
     def test_wrong_schema_rejected(self):
         payload = record("r1").to_dict()
         payload["schema"] = "repro-bench/1"
-        with pytest.raises(ValueError, match="repro-ledger/1"):
+        with pytest.raises(ValueError, match="repro-ledger/2"):
             RunRecord.from_dict(payload)
+
+    def test_writes_current_schema(self):
+        assert record("r1").to_dict()["schema"] == LEDGER_SCHEMA
+
+    def test_v1_record_reads_back_under_v2(self):
+        # Pre-health trajectory lines have no incidents key and the old
+        # schema marker; they must load untouched, not be skipped.
+        payload = record("r1").to_dict()
+        payload["schema"] = LEDGER_SCHEMA_V1
+        del payload["incidents"]
+        clone = RunRecord.from_dict(payload)
+        assert clone.runid == "r1"
+        assert clone.incidents == []
+
+    def test_incidents_round_trip(self):
+        rec = record("r1")
+        rec.incidents = [
+            {
+                "rule": "capture.gap_loss",
+                "severity": "critical",
+                "fired_hour": 4,
+                "resolved_hour": None,
+                "attributes": {"lost": 2},
+            }
+        ]
+        clone = RunRecord.from_dict(rec.to_dict())
+        assert clone.incidents == rec.incidents
+        assert clone == rec
 
     def test_missing_runid_rejected(self):
         payload = record("r1").to_dict()
@@ -143,6 +172,39 @@ class TestRunLedger:
         assert [rec.runid for rec in records] == ["r1", "r2"]
         assert skipped == 3
         assert ledger.load() == records
+
+    def test_empty_file_scans_clean(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_bytes(b"")
+        records, skipped = RunLedger(path).scan()
+        assert records == [] and skipped == 0
+
+    def test_truncated_final_line_recovers_earlier_records(self, tmp_path):
+        # The append-only failure mode: a crash mid-write leaves a
+        # valid prefix cut mid-object as the last line.
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        ledger.append(record("r1"))
+        ledger.append(record("r2"))
+        with ledger.path.open("a", encoding="utf-8") as fh:
+            fh.write(record("r3").canonical_json()[:60])
+        records, skipped = ledger.scan()
+        assert [rec.runid for rec in records] == ["r1", "r2"]
+        assert skipped == 1
+
+    def test_v1_line_loads_in_a_v2_ledger(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        v1_payload = record("old").to_dict()
+        v1_payload["schema"] = LEDGER_SCHEMA_V1
+        del v1_payload["incidents"]
+        ledger.path.write_text(
+            json.dumps(v1_payload, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        ledger.append(record("new"))
+        records, skipped = ledger.scan()
+        assert [rec.runid for rec in records] == ["old", "new"]
+        assert skipped == 0
+        assert records[0].incidents == []
 
     def test_trajectory_filters_by_kind(self, tmp_path):
         ledger = RunLedger(tmp_path / "runs.jsonl")

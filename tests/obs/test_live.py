@@ -72,6 +72,32 @@ class TestRendering:
         assert "cv fold  3" in fold and "accuracy 0.957" in fold
         assert monitor.lines_rendered == 3
 
+    def test_alert_lines_render_lifecycle(self):
+        out = io.StringIO()
+        with LiveMonitor(out=out):
+            obs.emit(
+                "alert.fired",
+                rule="stream.reconnect_storm",
+                severity="critical",
+                hour=5,
+                window=3,
+                reconnects=4,
+            )
+            obs.emit(
+                "alert.resolved",
+                rule="stream.reconnect_storm",
+                severity="critical",
+                hour=7,
+                fired_hour=5,
+            )
+        fired, resolved = render_lines(out)
+        assert "ALERT CRITICAL" in fired
+        assert "stream.reconnect_storm fired at hour 5" in fired
+        assert "reconnects=4" in fired  # payload rendered...
+        assert "window=" not in fired  # ...lifecycle keys are not
+        assert "resolved at hour 7" in resolved
+        assert "(fired 5)" in resolved
+
     def test_show_captures_renders_each_capture(self):
         out = io.StringIO()
         with LiveMonitor(out=out, show_captures=True):

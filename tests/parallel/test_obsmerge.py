@@ -1,0 +1,91 @@
+"""Worker obs-state export/merge, including the alert-replay protocol.
+
+A pool worker's ``alert.*`` events are exported as plain dicts,
+re-emitted on the parent stream stamped with ``worker_chunk``, and a
+parent-side :class:`HealthEngine` folds exactly those — its own
+emissions fold at the emit site, so nothing double-counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.health import HealthEngine, HealthRule
+from repro.parallel.obsmerge import export_obs_state, record_chunk
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    obs.set_enabled(True)
+    yield
+    obs.reset()
+
+
+def worker_state_with_alert() -> dict:
+    """Simulate a worker chunk whose health engine fired one alert."""
+    obs.reset()
+    obs.set_enabled(True)
+    rule = HealthRule(
+        name="stream.flap",
+        severity="warn",
+        predicate=lambda ctx: {"count": 2},
+        window_hours=1,
+    )
+    with HealthEngine(rules=[rule]):
+        obs.emit("engine.hour_completed", hour=3, tweets=10)
+    state = export_obs_state()
+    obs.reset()  # back to a pristine "parent" process
+    obs.set_enabled(True)
+    return state
+
+
+class TestExport:
+    def test_ordinary_chunk_exports_no_alerts(self):
+        obs.emit("network.capture", hour=1)
+        assert export_obs_state()["alerts"] == []
+
+    def test_alert_events_exported_as_plain_dicts(self):
+        state = worker_state_with_alert()
+        (alert,) = state["alerts"]
+        assert alert["name"] == "alert.fired"
+        assert alert["attributes"]["rule"] == "stream.flap"
+        assert state["metrics"]["counters"]["health.alerts_fired"] == 1
+
+
+class TestAlertReplay:
+    def test_replay_stamps_worker_chunk_and_parent_engine_folds(self):
+        state = worker_state_with_alert()
+        with HealthEngine(rules=[]) as parent:
+            record_chunk("label.minhash", 2, 5, 0.01, state)
+        (incident,) = parent.incidents.incidents
+        assert incident.rule == "stream.flap"
+        assert incident.attributes["worker_chunk"] == 2
+        assert incident.attributes["count"] == 2
+        # The worker's lazily-created counter arrives via the ordinary
+        # metric merge, reconciling with the folded incident count.
+        assert (
+            obs.get_registry().counter_value("health.alerts_fired") == 1
+        )
+        replayed = obs.get_event_stream().last("alert.fired")
+        assert replayed.attributes["worker_chunk"] == 2
+
+    def test_each_chunk_folds_exactly_once(self):
+        state = worker_state_with_alert()
+        with HealthEngine(rules=[]) as parent:
+            record_chunk("label.minhash", 0, 5, 0.01, state)
+            record_chunk("label.minhash", 1, 5, 0.01, state)
+        assert parent.alerts_fired == 2
+        chunks = sorted(
+            i.attributes["worker_chunk"]
+            for i in parent.incidents.incidents
+        )
+        assert chunks == [0, 1]
+
+    def test_replay_skipped_while_disabled(self):
+        state = worker_state_with_alert()
+        obs.set_enabled(False)
+        with HealthEngine(rules=[]) as parent:
+            record_chunk("label.minhash", 0, 5, 0.01, state)
+        assert parent.alerts_fired == 0
