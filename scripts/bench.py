@@ -49,6 +49,7 @@ from repro.obs import (  # noqa: E402
     diff_benchmarks,
     diff_trajectory,
     find_previous,
+    resources,
     set_profiling,
 )
 from repro.obs.bench import DEFAULT_THRESHOLD  # noqa: E402
@@ -248,6 +249,9 @@ def main(argv: list[str] | None = None) -> int:
             if _comparable(record, current)
         ]
         record = RunRecord.from_bench(current)
+        # Peak RSS of the whole run (ru_maxrss is monotonic): the
+        # scale workloads exist to track memory as much as wall time.
+        record.totals["max_rss_kb"] = resources.sample().max_rss_kb
         if health is not None:
             record.totals["alerts_fired"] = health.alerts_fired
             record.incidents = health.incidents.to_payload()

@@ -81,6 +81,41 @@ print(
 )
 EOF
 
+echo "== scale smoke (10k-account sharded world) =="
+# The columnar data plane and the sharded hour loop at a size big
+# enough to exercise the array paths yet seconds-fast: build a
+# 10k-account world, run two sharded hours, and assert the engine
+# actually emitted — also at workers=2, which must not change a byte.
+PYTHONPATH=src python - <<'EOF'
+import json
+
+from repro.obs import reset, set_enabled
+from repro.twittersim import SimulationConfig, build_population
+from repro.twittersim.columnar import AccountMap
+from repro.twittersim.sharded import build_engine
+
+
+def run(workers: int) -> list[str]:
+    reset()
+    set_enabled(True)
+    population = build_population(
+        SimulationConfig(seed=5, n_normal_users=10_000, engine_shards=2)
+    )
+    assert isinstance(population.accounts, AccountMap), "not columnar"
+    engine = build_engine(population, workers=workers)
+    firehose = []
+    engine.subscribe(firehose.append)
+    engine.run_hours(2)
+    reset()
+    return [json.dumps(t.to_json(), sort_keys=True) for t in firehose]
+
+
+sequential = run(0)
+assert len(sequential) > 500, f"only {len(sequential)} tweets at 10k"
+assert run(2) == sequential, "workers=2 changed the sharded stream"
+print(f"scale smoke OK ({len(sequential)} tweets, workers 0 == 2)")
+EOF
+
 if [[ "$fast" == "0" ]]; then
     echo "== perf smoke (benchmarks/perf) =="
     REPRO_SCALE="${REPRO_SCALE:-tiny}" PYTHONPATH=src \

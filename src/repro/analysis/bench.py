@@ -9,6 +9,9 @@ the paper's pipeline end-to-end — at one of three preset scales:
 * ``micro`` — a few seconds; sanity checks and harness tests.
 * ``tiny``  — ~tens of seconds; the default CI perf gate.
 * ``small`` — minutes; local before/after comparisons.
+* ``large`` — the million-account stress run (sharded engine, a few
+  minutes and ~2.5 GB peak RSS); tracks scale regressions, not the
+  per-PR gate.
 
 :func:`run_bench_workload` resets the observability layer, runs the
 workload fully instrumented, and returns the captured
@@ -47,6 +50,39 @@ def _micro_scale(seed: int) -> SessionScale:
     )
 
 
+def _large_scale(seed: int) -> SessionScale:
+    """The million-account stress workload.
+
+    One simulated hour emits ~75k tweets, so hour counts are kept
+    minimal — the point is columnar memory behavior and wall time per
+    hour at 1M accounts, not statistical power.  The engine runs
+    sharded (``engine_shards=8``); ``post_rate_max`` is tightened so
+    hourly volume stays tractable at this population size.
+    """
+    return SessionScale(
+        name="large",
+        sim=SimulationConfig(
+            seed=seed,
+            n_normal_users=1_000_000,
+            n_campaigns=120,
+            campaign_size_min=10,
+            campaign_size_max=30,
+            n_lone_spammers=2_000,
+            post_rate_max=6.0,
+            engine_shards=8,
+        ),
+        warmup_hours=1,
+        gt_hours=2,
+        gt_targets=5,
+        gt_per_value=5,
+        main_hours=1,
+        main_per_value=2,
+        comparison_hours=1,
+        advanced_per_value=2,
+        candidate_pool=20_000,
+    )
+
+
 def workload_scale(name: str, seed: int = 7) -> SessionScale:
     """The preset :class:`SessionScale` of one benchmark workload.
 
@@ -57,13 +93,15 @@ def workload_scale(name: str, seed: int = 7) -> SessionScale:
         return _micro_scale(seed)
     if name in ("tiny", "small"):
         return SessionScale.by_name(name, seed=seed)
+    if name == "large":
+        return _large_scale(seed)
     raise KeyError(
-        f"unknown bench workload {name!r} (micro/tiny/small)"
+        f"unknown bench workload {name!r} (micro/tiny/small/large)"
     )
 
 
 #: Names accepted by :func:`workload_scale`, smallest first.
-WORKLOAD_NAMES = ("micro", "tiny", "small")
+WORKLOAD_NAMES = ("micro", "tiny", "small", "large")
 
 
 def run_bench_workload(

@@ -34,8 +34,8 @@ from ..obs.ledger import RunLedger, RunRecord, stable_digest
 from ..parallel import executor
 from ..twittersim.api.rest import RestClient
 from ..twittersim.config import SimulationConfig
-from ..twittersim.engine import TwitterEngine
 from ..twittersim.population import build_population
+from ..twittersim.sharded import build_engine
 from .detector import ClassificationOutcome, PseudoHoneypotDetector
 from .monitor import CapturedTweet
 from .network import (
@@ -106,7 +106,7 @@ class PseudoHoneypotExperiment:
     ) -> None:
         self.config = config or SimulationConfig.medium()
         self.population = build_population(self.config)
-        self.engine = TwitterEngine(self.population)
+        self.engine = build_engine(self.population, workers=workers)
         self.fault_plan = fault_plan
         self.fault_injector: FaultInjector | None = None
         if fault_plan is not None:

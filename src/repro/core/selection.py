@@ -11,13 +11,14 @@ accounts are eligible (see :mod:`repro.core.portability`).
 from __future__ import annotations
 
 import math
-from collections import Counter, defaultdict
+from collections import Counter, defaultdict, deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..twittersim.api.rest import RestClient
-from ..twittersim.entities import UserProfile
+from ..twittersim.clock import SECONDS_PER_DAY
+from ..twittersim.entities import Tweet, UserProfile
 from ..twittersim.hashtags import HASHTAG_POOLS
 from .attributes import (
     AttributeCategory,
@@ -143,6 +144,310 @@ class SelectionReport:
             self.shortfalls[label] = requested - got
 
 
+def _candidate_base_arrays(candidates: list[UserProfile]) -> dict:
+    """Columnized counters of the round's candidate profiles."""
+    n = len(candidates)
+    created = np.empty(n, dtype=np.float64)
+    friends = np.empty(n, dtype=np.int64)
+    followers = np.empty(n, dtype=np.int64)
+    statuses = np.empty(n, dtype=np.int64)
+    listed = np.empty(n, dtype=np.int64)
+    favourites = np.empty(n, dtype=np.int64)
+    for i, p in enumerate(candidates):
+        created[i] = p.created_at
+        friends[i] = p.friends_count
+        followers[i] = p.followers_count
+        statuses[i] = p.statuses_count
+        listed[i] = p.listed_count
+        favourites[i] = p.favourites_count
+    return {
+        "created": created,
+        "friends": friends,
+        "followers": followers,
+        "statuses": statuses,
+        "listed": listed,
+        "favourites": favourites,
+    }
+
+
+class _CandidateColumns:
+    """Columnar candidate set: account-store rows instead of snapshots.
+
+    The profile-selection loop only ever needs three things from a
+    candidate: its attribute-value columns (gathered straight off the
+    account store), its user id, and — for the handful of winners — a
+    screen name.  Keeping candidates as row indices skips ~pool-size
+    ``UserProfile`` constructions per round; the gathered columns are
+    the same arrays a snapshot would copy its fields from, so every
+    derived value is bitwise-identical to the object path.
+    """
+
+    __slots__ = ("cols", "rows", "uids", "_base", "_profiles")
+
+    def __init__(self, cols, rows: list[int]) -> None:
+        self.cols = cols
+        self.rows = rows
+        idx = np.array(rows, dtype=np.intp)
+        self.uids: list[int] = cols._arrays["user_id"][idx].tolist()
+        self._base: dict | None = None
+        self._profiles: list[UserProfile] | None = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def base_arrays(self) -> dict:
+        """Gathered counter columns, shaped like ``_candidate_base_arrays``."""
+        if self._base is None:
+            arrays = self.cols._arrays
+            idx = np.array(self.rows, dtype=np.intp)
+            self._base = {
+                "created": arrays["created_at"][idx],
+                "friends": arrays["friends_count"][idx],
+                "followers": arrays["followers_count"][idx],
+                "statuses": arrays["statuses_count"][idx],
+                "listed": arrays["listed_count"][idx],
+                "favourites": arrays["favourites_count"][idx],
+            }
+        return self._base
+
+    def screen_name(self, i: int) -> str:
+        return self.cols.screen_name[self.rows[i]]
+
+    def profiles(self) -> list[UserProfile]:
+        """Materialized snapshots (only the unknown-attribute fallback)."""
+        if self._profiles is None:
+            self._profiles = self.cols.snapshot_rows(self.rows)
+        return self._profiles
+
+
+def _candidate_age_days(base: dict, now: float) -> np.ndarray:
+    age = base.get("age_days")
+    if age is None:
+        age = np.maximum((now - base["created"]) / SECONDS_PER_DAY, 1.0)
+        base["age_days"] = age
+    return age
+
+
+def _batch_attribute_values(
+    key: str, base: dict, now: float
+) -> np.ndarray | None:
+    """Vectorized ``AttributeSpec.value_of`` over the candidate batch.
+
+    Every Table II attribute is rational arithmetic over the profile
+    counters, so the column-wise result is bitwise-equal to the
+    per-profile scalar path.  Returns None for unknown keys (the
+    caller falls back to scalar evaluation).
+    """
+    if key == "friends_count":
+        return base["friends"].astype(np.float64)
+    if key == "followers_count":
+        return base["followers"].astype(np.float64)
+    if key == "total_friends_followers":
+        return (base["friends"] + base["followers"]).astype(np.float64)
+    if key == "friend_follower_ratio":
+        return base["friends"] / np.maximum(base["followers"], 1)
+    if key == "account_age_days":
+        return _candidate_age_days(base, now)
+    if key == "lists_count":
+        return base["listed"].astype(np.float64)
+    if key == "favorites_count":
+        return base["favourites"].astype(np.float64)
+    if key == "status_count":
+        return base["statuses"].astype(np.float64)
+    if key == "avg_lists_per_day":
+        return base["listed"] / _candidate_age_days(base, now)
+    if key == "avg_favorites_per_day":
+        return base["favourites"] / _candidate_age_days(base, now)
+    if key == "avg_statuses_per_day":
+        return base["statuses"] / _candidate_age_days(base, now)
+    return None
+
+
+class _RecentIndex:
+    """Incrementally maintained index over the recent-tweet window.
+
+    The sample stream is append-only and the indexed window is its
+    suffix, so consecutive selection rounds see windows that differ
+    only by a batch of new tweets at the tail and a batch of expired
+    tweets at the head.  Instead of re-scanning all ``recent_limit``
+    tweets every round, this structure ingests the new suffix and
+    retires the expired prefix — the per-round cost tracks the tweet
+    *rate*, not the window size.
+
+    Every derived mapping matches a from-scratch rebuild exactly:
+
+    * ``hashtag_authors`` / ``topic_authors`` keep author ids in
+      window order (deques; expiry pops from the front, which is
+      always the oldest occurrence).
+    * ``author_last_post`` / ``author_name`` hold the newest
+      in-window tweet's values; expiry only ever removes *older*
+      tweets, so the stored value stays correct until the author's
+      last tweet leaves the window, at which point the entry is
+      dropped entirely.
+    * ``author_used_hashtag`` / ``author_used_topic`` are backed by
+      per-author occurrence counts so membership flips off exactly
+      when the last qualifying tweet expires.
+    * ``ordered_authors()`` reproduces the first-appearance order a
+      sequential rebuild would produce as dict insertion order, by
+      sorting authors on their earliest in-window sequence number.
+    """
+
+    __slots__ = (
+        "window",
+        "_next_seq",
+        "hashtag_authors",
+        "topic_authors",
+        "hashtag_usage",
+        "author_used_hashtag",
+        "author_used_topic",
+        "author_last_post",
+        "author_name",
+        "_author_seqs",
+        "_author_hashtag_count",
+        "_author_topic_count",
+    )
+
+    def __init__(self) -> None:
+        self.window: list[Tweet] = []
+        self._next_seq = 0
+        self.hashtag_authors: defaultdict[str, deque[int]] = defaultdict(
+            deque
+        )
+        self.topic_authors: defaultdict[str, deque[int]] = defaultdict(deque)
+        self.hashtag_usage: Counter = Counter()
+        self.author_used_hashtag: set[int] = set()
+        self.author_used_topic: set[int] = set()
+        self.author_last_post: dict[int, float] = {}
+        self.author_name: dict[int, str] = {}
+        self._author_seqs: dict[int, deque[int]] = {}
+        self._author_hashtag_count: dict[int, int] = {}
+        self._author_topic_count: dict[int, int] = {}
+
+    # -- maintenance -------------------------------------------------------
+
+    def _add(self, tweet: Tweet) -> None:
+        uid = tweet.user.user_id
+        self.author_last_post[uid] = tweet.created_at
+        self.author_name[uid] = tweet.user.screen_name
+        seqs = self._author_seqs.get(uid)
+        if seqs is None:
+            self._author_seqs[uid] = seqs = deque()
+        seqs.append(self._next_seq)
+        self._next_seq += 1
+        for tag in tweet.hashtags:
+            self.hashtag_authors[tag].append(uid)
+            self.hashtag_usage[tag] += 1
+            self._author_hashtag_count[uid] = (
+                self._author_hashtag_count.get(uid, 0) + 1
+            )
+            self.author_used_hashtag.add(uid)
+        if tweet.topic is not None:
+            self.topic_authors[tweet.topic].append(uid)
+            self._author_topic_count[uid] = (
+                self._author_topic_count.get(uid, 0) + 1
+            )
+            self.author_used_topic.add(uid)
+
+    def _expire(self, tweet: Tweet) -> None:
+        uid = tweet.user.user_id
+        seqs = self._author_seqs[uid]
+        seqs.popleft()
+        if not seqs:
+            del self._author_seqs[uid]
+            del self.author_last_post[uid]
+            del self.author_name[uid]
+        for tag in tweet.hashtags:
+            authors = self.hashtag_authors[tag]
+            authors.popleft()
+            if not authors:
+                del self.hashtag_authors[tag]
+            remaining = self.hashtag_usage[tag] - 1
+            if remaining:
+                self.hashtag_usage[tag] = remaining
+            else:
+                del self.hashtag_usage[tag]
+            count = self._author_hashtag_count[uid] - 1
+            if count:
+                self._author_hashtag_count[uid] = count
+            else:
+                del self._author_hashtag_count[uid]
+                self.author_used_hashtag.discard(uid)
+        if tweet.topic is not None:
+            authors = self.topic_authors[tweet.topic]
+            authors.popleft()
+            if not authors:
+                del self.topic_authors[tweet.topic]
+            count = self._author_topic_count[uid] - 1
+            if count:
+                self._author_topic_count[uid] = count
+            else:
+                del self._author_topic_count[uid]
+                self.author_used_topic.discard(uid)
+
+    def advance(self, recent: list[Tweet]) -> bool:
+        """Move the index to the new window; False if it can't diff.
+
+        The diff relies on tweet ids increasing along the stream; when
+        the shape doesn't match (stream reset, out-of-order ids), the
+        caller should rebuild from scratch.
+        """
+        prev = self.window
+        if not prev:
+            if self._next_seq:
+                return False
+            for tweet in recent:
+                self._add(tweet)
+            self.window = list(recent)
+            return True
+        prev_last_id = prev[-1].tweet_id
+        split = len(recent)
+        while split > 0 and recent[split - 1].tweet_id > prev_last_id:
+            split -= 1
+        overlap = split
+        expired = len(prev) - overlap
+        if expired < 0:
+            return False
+        if overlap > 0 and (
+            prev[expired].tweet_id != recent[0].tweet_id
+            or prev[-1].tweet_id != recent[overlap - 1].tweet_id
+        ):
+            return False
+        for tweet in prev[:expired]:
+            self._expire(tweet)
+        for tweet in recent[overlap:]:
+            self._add(tweet)
+        self.window = list(recent)
+        return True
+
+    # -- reads -------------------------------------------------------------
+
+    def ordered_authors(self) -> list[int]:
+        """Author ids in first-appearance (window) order."""
+        n = len(self._author_seqs)
+        if not n:
+            return []
+        uids = np.fromiter(self._author_seqs.keys(), dtype=np.int64, count=n)
+        firsts = np.fromiter(
+            (seqs[0] for seqs in self._author_seqs.values()),
+            dtype=np.int64,
+            count=n,
+        )
+        return uids[np.argsort(firsts, kind="stable")].tolist()
+
+    def as_recent_index(self) -> dict:
+        """The mapping bundle ``select()`` rounds consume."""
+        return {
+            "hashtag_authors": self.hashtag_authors,
+            "topic_authors": self.topic_authors,
+            "hashtag_usage": self.hashtag_usage,
+            "author_used_hashtag": self.author_used_hashtag,
+            "author_used_topic": self.author_used_topic,
+            "author_last_post": self.author_last_post,
+            "author_name": self.author_name,
+            "ordered_authors": self.ordered_authors(),
+        }
+
+
 class AttributeSelector:
     """Screens accounts and assembles pseudo-honeypot node sets.
 
@@ -176,6 +481,7 @@ class AttributeSelector:
         self.seed = seed
         self._rng = np.random.default_rng(seed)
         self.last_report: SelectionReport | None = None
+        self._recent_index = _RecentIndex()
 
     # ------------------------------------------------------------------
 
@@ -192,9 +498,13 @@ class AttributeSelector:
         recent_index = self._index_recent_sample()
         candidates = self._profile_candidates(now, recent_index)
 
+        # Many targets share one spec (the paper plan has 10 sample
+        # values per attribute), so candidate attribute values are
+        # evaluated once per spec per round, not once per target.
+        value_cache: dict[str, np.ndarray] = {}
         for target in plan.profile_targets:
             got = self._select_profile(
-                target, now, candidates, used, nodes
+                target, now, candidates, used, nodes, value_cache
             )
             report.record(target.sample_label, target.count, got)
 
@@ -210,43 +520,61 @@ class AttributeSelector:
     # ------------------------------------------------------------------
 
     def _index_recent_sample(self) -> dict:
-        """One bulk read of the sample stream, indexed locally."""
+        """One bulk read of the sample stream, indexed incrementally.
+
+        Consecutive rounds see overlapping windows of the append-only
+        stream, so the cached :class:`_RecentIndex` advances by the
+        window diff; a full rebuild happens only when the stream shape
+        changes underneath it (e.g. a fresh platform instance).
+        """
         recent = self.rest.recent_sample(self.recent_limit)
-        hashtag_authors: dict[str, list[int]] = defaultdict(list)
-        topic_authors: dict[str, list[int]] = defaultdict(list)
-        hashtag_usage: Counter = Counter()
-        author_used_hashtag: set[int] = set()
-        author_used_topic: set[int] = set()
-        author_last_post: dict[int, float] = {}
-        author_name: dict[int, str] = {}
-        for tweet in recent:
-            uid = tweet.user.user_id
-            author_last_post[uid] = tweet.created_at
-            author_name[uid] = tweet.user.screen_name
-            for tag in tweet.hashtags:
-                hashtag_authors[tag].append(uid)
-                hashtag_usage[tag] += 1
-                author_used_hashtag.add(uid)
-            if tweet.topic is not None:
-                topic_authors[tweet.topic].append(uid)
-                author_used_topic.add(uid)
-        return {
-            "hashtag_authors": hashtag_authors,
-            "topic_authors": topic_authors,
-            "hashtag_usage": hashtag_usage,
-            "author_used_hashtag": author_used_hashtag,
-            "author_used_topic": author_used_topic,
-            "author_last_post": author_last_post,
-            "author_name": author_name,
-        }
+        if not self._recent_index.advance(recent):
+            self._recent_index = _RecentIndex()
+            self._recent_index.advance(recent)
+        return self._recent_index.as_recent_index()
 
     def _profile_candidates(
         self, now: float, recent_index: dict
-    ) -> list[UserProfile]:
-        """Sample, look up, and activity-filter profile candidates."""
+    ) -> list[UserProfile] | _CandidateColumns:
+        """Sample, look up, and activity-filter profile candidates.
+
+        With a columnar account store the candidate set stays as row
+        indices end to end (:class:`_CandidateColumns`); the object
+        path below is the array-free fallback and the behavioral
+        reference.
+        """
         ids = self.rest.sample_user_ids(self.candidate_pool)
+        batches = range(0, len(ids), RestClient.LOOKUP_BATCH)
+        first_rows = self.rest.lookup_user_rows(
+            ids[: RestClient.LOOKUP_BATCH]
+        )
+        if first_rows is not None:
+            rows = list(first_rows)
+            for start in batches[1:]:
+                rows.extend(
+                    self.rest.lookup_user_rows(
+                        ids[start : start + RestClient.LOOKUP_BATCH]
+                    )
+                )
+            candidates = _CandidateColumns(
+                self.rest.account_columns, rows
+            )
+            if self.activity is None:
+                return candidates
+            last_post = recent_index["author_last_post"]
+            is_active_from_history = self.activity.is_active_from_history
+            is_active = self.activity.is_active
+            kept = [
+                row
+                for row, uid in zip(candidates.rows, candidates.uids)
+                if is_active_from_history(last_post.get(uid), now)
+                or is_active(self.rest, uid, now)
+            ]
+            if len(kept) == len(candidates.rows):
+                return candidates
+            return _CandidateColumns(candidates.cols, kept)
         profiles: list[UserProfile] = []
-        for start in range(0, len(ids), RestClient.LOOKUP_BATCH):
+        for start in batches:
             profiles.extend(
                 self.rest.lookup_users(
                     ids[start : start + RestClient.LOOKUP_BATCH]
@@ -268,34 +596,103 @@ class AttributeSelector:
         self,
         target: ProfileTarget,
         now: float,
-        candidates: list[UserProfile],
+        candidates: list[UserProfile] | _CandidateColumns,
         used: set[int],
         nodes: list[HoneypotNode],
+        value_cache: dict[str, np.ndarray] | None = None,
     ) -> int:
-        matches: list[tuple[float, UserProfile]] = []
+        colset = (
+            candidates if isinstance(candidates, _CandidateColumns) else None
+        )
+        matches: list[tuple[float, int, int]] = []
         log_tol = math.log(self.tolerance)
-        for profile in candidates:
-            if profile.user_id in used:
+        if value_cache is None:
+            value_cache = {}
+        values = value_cache.get(target.spec.key)
+        if values is None:
+            if colset is not None:
+                base = colset.base_arrays()
+            else:
+                base = value_cache.get("__base__")
+                if base is None:
+                    base = _candidate_base_arrays(candidates)
+                    value_cache["__base__"] = base
+            batched = _batch_attribute_values(target.spec.key, base, now)
+            if batched is not None:
+                values = batched
+            else:
+                profiles = (
+                    colset.profiles() if colset is not None else candidates
+                )
+                values = np.array(
+                    [target.spec.value_of(p, now) for p in profiles],
+                    dtype=np.float64,
+                )
+            value_cache[target.spec.key] = values
+        # Vector prefilter with slack, then an exact scalar confirm:
+        # np.log is not bitwise-equal to math.log (last-ulp drift), so
+        # the match predicate itself must stay scalar, but candidates
+        # whose approximate distance misses by > 1e-6 (nine orders
+        # above the drift plus the log-difference cancellation) can
+        # never pass it.  log(values) is target-independent, so it is
+        # computed once per attribute key and compared against
+        # log(target) by subtraction — each target's prefilter then
+        # costs two cheap array ops instead of a fresh transcendental
+        # pass.
+        logs_key = target.spec.key + "\x00log"
+        logs = value_cache.get(logs_key)
+        if logs is None:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                logs = np.log(values)
+            value_cache[logs_key] = logs
+        if target.value <= 0:
+            # log-distance to a non-positive target is undefined —
+            # nothing can match (the ratio path yielded NaN here).
+            return 0
+        with np.errstate(invalid="ignore"):
+            approx = np.abs(logs - math.log(target.value))
+        near = np.nonzero((values > 0) & (approx <= log_tol + 1e-6))[0]
+        # The confirm loop runs over plain Python floats/ints: the
+        # unboxed lists are cached per attribute key (and per round
+        # for the uids), so repeated targets pay only the loop itself.
+        vals_key = target.spec.key + "\x00vals"
+        vals = value_cache.get(vals_key)
+        if vals is None:
+            vals = value_cache[vals_key] = values.tolist()
+        uids = value_cache.get("\x00uids")
+        if uids is None:
+            uids = (
+                colset.uids
+                if colset is not None
+                else [profile.user_id for profile in candidates]
+            )
+            value_cache["\x00uids"] = uids
+        target_value = target.value
+        for ii in near.tolist():
+            uid = uids[ii]
+            if uid in used:
                 continue
-            value = target.spec.value_of(profile, now)
-            if value <= 0:
-                continue
-            distance = abs(math.log(value / target.value))
+            distance = abs(math.log(vals[ii] / target_value))
             if distance <= log_tol:
-                matches.append((distance, profile))
-        matches.sort(key=lambda pair: (pair[0], pair[1].user_id))
+                matches.append((distance, uid, ii))
+        matches.sort(key=lambda entry: (entry[0], entry[1]))
         got = 0
-        for __, profile in matches[: target.count]:
+        for __, uid, ii in matches[: target.count]:
+            screen_name = (
+                colset.screen_name(ii)
+                if colset is not None
+                else candidates[ii].screen_name
+            )
             nodes.append(
                 HoneypotNode(
-                    user_id=profile.user_id,
-                    screen_name=profile.screen_name,
+                    user_id=uid,
+                    screen_name=screen_name,
                     attribute_key=target.spec.key,
                     sample_label=target.sample_label,
                     category=AttributeCategory.PROFILE,
                 )
             )
-            used.add(profile.user_id)
+            used.add(uid)
             got += 1
         return got
 
@@ -339,7 +736,7 @@ class AttributeSelector:
         if key == "no_hashtag":
             pool = [
                 uid
-                for uid in recent_index["author_last_post"]
+                for uid in recent_index["ordered_authors"]
                 if uid not in recent_index["author_used_hashtag"]
             ]
             self._rng.shuffle(pool)
@@ -363,7 +760,7 @@ class AttributeSelector:
         if key == "no_trending":
             pool = [
                 uid
-                for uid in recent_index["author_last_post"]
+                for uid in recent_index["ordered_authors"]
                 if uid not in recent_index["author_used_topic"]
             ]
             self._rng.shuffle(pool)

@@ -29,7 +29,10 @@ Rule families (full catalog: ``python -m repro.devtools.lint
 * ``RPL4xx`` parallel-safety — callables shipped to pool workers must
   be module-level (RPL401), must not mutate module globals (RPL402),
   and must not emit events the obsmerge protocol cannot ship back
-  (RPL403).
+  (RPL403);
+* ``RPL5xx`` performance — hot engine/extractor modules must not
+  iterate the account store object-by-object (RPL501); the columnar
+  data plane exists so population-scale sweeps stay vectorized.
 
 Programmatic use mirrors the CLI:
 

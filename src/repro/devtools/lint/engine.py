@@ -58,6 +58,7 @@ from .parallel_rules import (
     WorkerGlobalMutationRule,
     WorkerTaskPicklableRule,
 )
+from .perf_rules import PerAccountLoopRule
 from .schema_rules import KnownFeatureNameRule, SchemaShapeRule
 from .seed_taint import (
     SeedTaintRule,
@@ -103,6 +104,7 @@ ALL_RULES: tuple[Rule, ...] = (
     WorkerTaskPicklableRule(),
     WorkerGlobalMutationRule(),
     WorkerEventEmissionRule(),
+    PerAccountLoopRule(),
 )
 
 #: Every catalog rule ID (pragma validation, CLI id validation).

@@ -13,11 +13,21 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import get_registry
 from ..twittersim.entities import Tweet, UserProfile
 from .behavior import BehaviorTracker
-from .content import content_features, normalize_text_for_dedup
+from .content import (
+    _KIND_CODE,
+    _SOURCE_CODE,
+    normalize_text_for_dedup,
+)
+from .textstats import count_digits, count_emoji
 from .environment import EnvironmentScoreTracker
-from .profile import empty_profile_features, profile_features
+from .profile import (
+    empty_profile_features,
+    profile_features,
+    refresh_age_slots,
+)
 from .schema import N_FEATURES
 
 #: Sentinel for "not a reaction to any post" in the mention-time slot.
@@ -51,6 +61,25 @@ class FeatureExtractor:
         self._profiles: dict[int, UserProfile] = {}
         self._text_last_seen: dict[str, float] = {}
         self._dedup_prune_at = 0.0
+        # Profile-feature memo: 12 of the 16 slots are pure functions
+        # of the (frozen, hashable) profile snapshot; the 4 age slots
+        # are refreshed per extraction, keeping hits bitwise-identical
+        # to a full recompute.  Snapshots repeat heavily — a receiver's
+        # cached profile serves every mention until it posts again.
+        self._pf_cache: dict[UserProfile, np.ndarray] = {}
+        # Text-derived values (normalized dedup form, emoji/digit
+        # counts) are pure functions of the text, and campaign blasts
+        # repeat texts heavily — memoize per distinct string.
+        self._text_stats: dict[str, tuple[str, int, int]] = {}
+        registry = get_registry()
+        self._m_pf_hits = registry.counter("features.profile_cache.hits")
+        self._m_pf_misses = registry.counter("features.profile_cache.misses")
+
+    #: Entry cap for the per-extractor profile-feature memo.
+    PROFILE_CACHE_CAP = 50_000
+
+    #: Entry cap for the per-text statistics memo.
+    TEXT_STATS_CAP = 200_000
 
     # ------------------------------------------------------------------
 
@@ -92,7 +121,18 @@ class FeatureExtractor:
             self._profiles.get(receiver_id) if receiver_id is not None else None
         )
 
-        normalized = normalize_text_for_dedup(tweet.text)
+        text = tweet.text
+        stats = self._text_stats.get(text)
+        if stats is None:
+            if len(self._text_stats) >= self.TEXT_STATS_CAP:
+                self._text_stats.clear()
+            stats = (
+                normalize_text_for_dedup(text),
+                count_emoji(text),
+                count_digits(text),
+            )
+            self._text_stats[text] = stats
+        normalized, n_emoji, n_digits = stats
         last_seen = self._text_last_seen.get(normalized)
         repeated = (
             last_seen is not None and now - last_seen <= self.dedup_window_s
@@ -113,26 +153,57 @@ class FeatureExtractor:
         )
 
         vector = np.empty(N_FEATURES)
-        vector[0:16] = profile_features(sender, now)
+        vector[0:16] = self._profile_features_cached(sender, now)
         vector[16:32] = (
-            profile_features(receiver_profile, now)
+            self._profile_features_cached(receiver_profile, now)
             if receiver_profile is not None
             else empty_profile_features()
         )
-        vector[32:40] = content_features(tweet, repeated)
+        # Content slots written directly (scalar stores into the
+        # float64 row are bitwise-equal to routing them through
+        # ``content_features``'s temporary array).
+        vector[32] = repeated
+        vector[33] = _KIND_CODE[tweet.kind]
+        vector[34] = _SOURCE_CODE[tweet.source]
+        vector[35] = len(tweet.hashtags)
+        vector[36] = len(tweet.mentions)
+        vector[37] = len(text)
+        vector[38] = n_emoji
+        vector[39] = n_digits
         vector[40] = float(reciprocity)
-        vector[41:44] = sender_activity.kind_fractions()
-        vector[44:47] = (
-            receiver_activity.kind_fractions()
-            if receiver_activity is not None
-            else 0.0
-        )
-        vector[47:51] = sender_activity.source_fractions()
-        vector[51:55] = (
-            receiver_activity.source_fractions()
-            if receiver_activity is not None
-            else 0.0
-        )
+        # Fraction blocks divide straight into the row (``np.divide``
+        # with ``out=`` is the same element-wise division, minus the
+        # temporary each ``*_fractions()`` call would allocate).
+        n_sender = sender_activity.n_tweets
+        if n_sender:
+            np.divide(
+                sender_activity.kind_counts, n_sender, out=vector[41:44]
+            )
+            np.divide(
+                sender_activity.source_counts, n_sender, out=vector[47:51]
+            )
+        else:
+            vector[41:44] = sender_activity.kind_counts
+            vector[47:51] = sender_activity.source_counts
+        if receiver_activity is not None:
+            n_receiver = receiver_activity.n_tweets
+            if n_receiver:
+                np.divide(
+                    receiver_activity.kind_counts,
+                    n_receiver,
+                    out=vector[44:47],
+                )
+                np.divide(
+                    receiver_activity.source_counts,
+                    n_receiver,
+                    out=vector[51:55],
+                )
+            else:
+                vector[44:47] = receiver_activity.kind_counts
+                vector[51:55] = receiver_activity.source_counts
+        else:
+            vector[44:47] = 0.0
+            vector[51:55] = 0.0
         vector[55] = (
             mention_time if mention_time is not None else NO_MENTION_TIME
         )
@@ -160,6 +231,21 @@ class FeatureExtractor:
             attrs = attributes[i] if attributes is not None else ()
             rows[i] = self.extract(tweet, attrs)
         return rows
+
+    def _profile_features_cached(
+        self, profile: UserProfile, now: float
+    ) -> np.ndarray:
+        """Per-account profile features with the age slots refreshed."""
+        base = self._pf_cache.get(profile)
+        if base is None:
+            self._m_pf_misses.inc()
+            if len(self._pf_cache) >= self.PROFILE_CACHE_CAP:
+                self._pf_cache.clear()
+            fresh = profile_features(profile, now)
+            self._pf_cache[profile] = fresh
+            return fresh
+        self._m_pf_hits.inc()
+        return refresh_age_slots(base, profile, now)
 
     def notify_spam(
         self, tweet: Tweet, attributes: tuple[str, ...] = ()

@@ -16,10 +16,32 @@ from .textstats import count_digits, count_emoji
 
 N_PROFILE_FEATURES = 16
 
+#: Feature slots that depend on ``now`` (age and the per-day averages);
+#: every other slot is a pure function of the profile fields.
+AGE_DEPENDENT_SLOTS = (2, 4, 6, 7)
+
+#: Character-class statistics are pure functions of the description
+#: string, and descriptions repeat massively (one per account, embedded
+#: in every tweet snapshot), so they memoize collision-free on the
+#: string itself.  The cap only bounds pathological churn.
+_DESC_STATS_CAP = 200_000
+_desc_stats: dict[str, tuple[int, int]] = {}
+
+
+def _description_stats(text: str) -> tuple[int, int]:
+    stats = _desc_stats.get(text)
+    if stats is None:
+        if len(_desc_stats) >= _DESC_STATS_CAP:
+            _desc_stats.clear()
+        stats = (count_emoji(text), count_digits(text))
+        _desc_stats[text] = stats
+    return stats
+
 
 def profile_features(profile: UserProfile, now: float) -> np.ndarray:
     """The 16 profile features of one account at time ``now``."""
     age = profile.age_days(now)
+    n_emoji, n_digits = _description_stats(profile.description)
     return np.array(
         [
             float(profile.friends_count),
@@ -36,10 +58,27 @@ def profile_features(profile: UserProfile, now: float) -> np.ndarray:
             float(len(profile.screen_name)),
             float(len(profile.name)),
             float(len(profile.description)),
-            float(count_emoji(profile.description)),
-            float(count_digits(profile.description)),
+            float(n_emoji),
+            float(n_digits),
         ]
     )
+
+
+def refresh_age_slots(
+    vector: np.ndarray, profile: UserProfile, now: float
+) -> np.ndarray:
+    """Rewrite the ``now``-dependent slots of a cached feature vector.
+
+    The expressions mirror :func:`profile_features` exactly, so a
+    cached vector with refreshed age slots is bitwise-equal to a fresh
+    extraction.
+    """
+    age = profile.age_days(now)
+    vector[2] = age
+    vector[4] = profile.statuses_count / age
+    vector[6] = profile.listed_count / age
+    vector[7] = profile.favourites_count / age
+    return vector
 
 
 def empty_profile_features() -> np.ndarray:

@@ -4,10 +4,23 @@ from __future__ import annotations
 
 import unicodedata
 
+_ASCII_DIGITS = "0123456789"
+
+#: Per-character emoji verdicts; the alphabet of any run is tiny, so
+#: this stays a few dozen entries.
+_emoji_cache: dict[str, bool] = {}
+
 
 def count_digits(text: str) -> int:
     """Number of decimal digit characters."""
-    return sum(ch.isdigit() for ch in text)
+    if text.isascii():
+        # For ASCII text ``ch.isdigit()`` is exactly membership in
+        # 0-9, so ten C-level scans replace the per-character loop.
+        n = 0
+        for digit in _ASCII_DIGITS:
+            n += text.count(digit)
+        return n
+    return sum(map(str.isdigit, text))
 
 
 def is_emoji(ch: str) -> bool:
@@ -16,15 +29,23 @@ def is_emoji(ch: str) -> bool:
     Covers the emoji blocks (Misc Symbols, Dingbats, Supplemental
     Symbols, Emoticons) without an external emoji database.
     """
-    code = ord(ch)
-    if code < 0x2600:
-        return False
-    return unicodedata.category(ch) in ("So", "Sk", "Cn")
+    cached = _emoji_cache.get(ch)
+    if cached is None:
+        cached = ord(ch) >= 0x2600 and unicodedata.category(ch) in (
+            "So",
+            "Sk",
+            "Cn",
+        )
+        _emoji_cache[ch] = cached
+    return cached
 
 
 def count_emoji(text: str) -> int:
     """Number of emoji characters (variation selectors excluded)."""
-    return sum(is_emoji(ch) for ch in text)
+    if text.isascii():
+        # Every ASCII code point is below U+2600.
+        return 0
+    return sum(map(is_emoji, text))
 
 
 def strip_for_shingling(text: str) -> str:
@@ -41,9 +62,14 @@ def strip_for_shingling(text: str) -> str:
     for token in text.lower().split():
         if token.startswith("http"):
             continue
-        cleaned = "".join(
-            ch for ch in token if ch.isalnum() and not is_emoji(ch)
-        )
+        if token.isascii() and token.isalnum():
+            # Plain-word fast path: nothing to strip (ASCII alnum
+            # characters are never emoji or punctuation).
+            cleaned = token
+        else:
+            cleaned = "".join(
+                ch for ch in token if ch.isalnum() and not is_emoji(ch)
+            )
         if cleaned and not cleaned.isdigit():
             tokens.append(cleaned)
     return " ".join(tokens)

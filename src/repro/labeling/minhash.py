@@ -22,8 +22,12 @@ import numpy as np
 
 from ..features.textstats import strip_for_shingling
 from ..parallel import parallel_map
+from .dhash import _UnionFind
 
 _MERSENNE_PRIME = (1 << 61) - 1
+
+#: Default number of LSH bands a k-minima signature is cut into.
+DEFAULT_BANDS = 4
 
 
 def stable_hash64(text: str) -> int:
@@ -35,6 +39,24 @@ def stable_hash64(text: str) -> int:
     """
     digest = blake2b(text.encode("utf-8"), digest_size=8).digest()
     return int.from_bytes(digest, "big") & 0x7FFFFFFFFFFFFFFF
+
+
+#: Shingle-hash memo: tri-grams draw from a tiny alphabet, so distinct
+#: shingles number in the low thousands per run while hash calls number
+#: in the hundreds of thousands.  Pure function of the text — safe to
+#: share process-wide (workers rebuild their own copy on demand).
+_SHINGLE_HASH_CAP = 500_000
+_shingle_hash: dict[str, int] = {}
+
+
+def _stable_hash64_cached(text: str) -> int:
+    value = _shingle_hash.get(text)
+    if value is None:
+        if len(_shingle_hash) >= _SHINGLE_HASH_CAP:
+            _shingle_hash.clear()
+        value = stable_hash64(text)
+        _shingle_hash[text] = value
+    return value
 
 
 class MinHasher:
@@ -64,9 +86,10 @@ class MinHasher:
         normalized = strip_for_shingling(text)
         k = self.shingle_size
         if len(normalized) < k:
-            return {stable_hash64(normalized)}
+            return {_stable_hash64_cached(normalized)}
+        hash_of = _stable_hash64_cached
         return {
-            stable_hash64(normalized[i : i + k])
+            hash_of(normalized[i : i + k])
             for i in range(len(normalized) - k + 1)
         }
 
@@ -79,7 +102,7 @@ class MinHasher:
         hashed = (
             self._a[:, None] * shingles[None, :] + self._b[:, None]
         ) % _MERSENNE_PRIME
-        return tuple(int(v) for v in hashed.min(axis=1))
+        return tuple(hashed.min(axis=1).tolist())
 
     def similarity(self, text_a: str, text_b: str) -> float:
         """Estimated Jaccard similarity: fraction of agreeing minima."""
@@ -89,21 +112,159 @@ class MinHasher:
         return agree / self.n_hashes
 
 
+def band_keys(
+    signature: tuple[int, ...], n_bands: int = DEFAULT_BANDS
+) -> list[tuple[int, tuple[int, ...]]]:
+    """The LSH band keys of one signature.
+
+    The k minima are cut into ``n_bands`` contiguous bands of
+    ``k // n_bands`` rows; two signatures that agree on any whole band
+    land in a shared bucket and become a candidate pair.
+
+    Raises:
+        ValueError: if the signature length is not divisible into
+            equal-sized bands.
+    """
+    k = len(signature)
+    if n_bands < 1 or k % n_bands:
+        raise ValueError(
+            f"cannot cut a {k}-minima signature into {n_bands} equal bands"
+        )
+    rows = k // n_bands
+    return [
+        (b, signature[b * rows : (b + 1) * rows]) for b in range(n_bands)
+    ]
+
+
+def group_signatures_banded(
+    signatures: list[tuple[int, ...]],
+    scopes: list | None = None,
+    threshold: float = 1.0,
+    n_bands: int = DEFAULT_BANDS,
+) -> list[list[int]]:
+    """Group signature indices via LSH banding + verified candidates.
+
+    Candidate pairs come from band buckets instead of an all-pairs
+    scan: signatures agreeing on at least one whole band share a
+    bucket, and only bucket-mates are verified against ``threshold``
+    (minimum fraction of agreeing minima) before being merged through
+    a union-find.  At the default ``threshold=1.0`` verification is
+    exact signature equality, so the groups are bit-identical to
+    full-signature dict bucketing — banding only replaces the
+    candidate scan.  Below 1.0 the grouping is true near-duplicate
+    single-linkage, with the standard LSH guarantee that any pair
+    agreeing on >= ``k/n_bands`` consecutive minima is considered.
+
+    ``scopes`` (e.g. the tweet's day window) is folded into every
+    bucket key, so a group never spans two scopes.
+
+    Returns:
+        Groups of indices (size >= 2), ordered by first member with
+        members ascending — the emission order a first-appearance
+        dict bucket produces, at any worker count.
+    """
+    n = len(signatures)
+    uf = _UnionFind(n)
+    k = len(signatures[0]) if signatures else 0
+    if k and (n_bands < 1 or k % n_bands):
+        raise ValueError(
+            f"cannot cut a {k}-minima signature into {n_bands} equal bands"
+        )
+    min_agree = threshold * k
+    exact = threshold >= 1.0
+    checked: set[tuple[int, int]] = set()
+    rows = k // n_bands if n_bands else 0
+    for band in range(n_bands):
+        buckets: dict[tuple, list[int]] = defaultdict(list)
+        for idx, signature in enumerate(signatures):
+            key = signature[band * rows : (band + 1) * rows]
+            if scopes is not None:
+                buckets[(scopes[idx], key)].append(idx)
+            else:
+                buckets[key].append(idx)
+        for members in buckets.values():
+            if len(members) < 2:
+                continue
+            if exact:
+                # Equality is transitive: sub-bucket on the full
+                # signature (linear) instead of pairwise verification.
+                classes: dict[tuple[int, ...], int] = {}
+                for idx in members:
+                    first = classes.setdefault(signatures[idx], idx)
+                    if first != idx:
+                        uf.union(first, idx)
+                continue
+            for i, idx_a in enumerate(members):
+                sig_a = signatures[idx_a]
+                for idx_b in members[i + 1 :]:
+                    pair = (idx_a, idx_b)
+                    if pair in checked:
+                        continue
+                    checked.add(pair)
+                    sig_b = signatures[idx_b]
+                    agree = sum(
+                        a == b for a, b in zip(sig_a, sig_b)
+                    )
+                    if agree >= min_agree:
+                        uf.union(idx_a, idx_b)
+        if exact:
+            # Equal signatures agree on every band; later bands would
+            # only repeat the same unions.
+            break
+    components: dict[int, list[int]] = defaultdict(list)
+    for idx in range(n):
+        components[uf.find(idx)].append(idx)
+    groups = [
+        members for members in components.values() if len(members) >= 2
+    ]
+    groups.sort(key=lambda members: members[0])
+    return groups
+
+
+def _distinct_signatures(
+    texts: list[str],
+    hasher: MinHasher,
+    workers: int | None,
+    label: str,
+) -> list[tuple[int, ...]]:
+    """Signatures of ``texts``, hashing each distinct string once.
+
+    The signature is a pure function of the text and campaign blasts
+    repeat texts heavily, so signatures are computed per distinct
+    string (in first-appearance order — positionally stable at any
+    worker count) and fanned back out.
+    """
+    slot_of: dict[str, int] = {}
+    distinct: list[str] = []
+    for text in texts:
+        if text not in slot_of:
+            slot_of[text] = len(distinct)
+            distinct.append(text)
+    computed = parallel_map(
+        hasher.signature, distinct, workers=workers, label=label
+    )
+    return [computed[slot_of[text]] for text in texts]
+
+
 def group_by_signature(
     texts: list[str],
     hasher: MinHasher | None = None,
     workers: int | None = None,
+    threshold: float = 1.0,
+    n_bands: int = DEFAULT_BANDS,
 ) -> list[list[int]]:
-    """Group indices of texts with identical MinHash signatures.
+    """Group indices of texts with near-identical MinHash signatures.
 
     Empty (post-normalization) texts are never grouped: a blank bio is
     not evidence of affiliation.
 
-    Signature computation — the O(text length x k) hot loop — fans out
-    over ``workers`` pool processes (0 = sequential; ``None`` defers
-    to the ambient :func:`repro.parallel.resolve_workers` rule).
-    Bucketing stays in the parent and walks indices in input order, so
-    groups are identical at every worker count.
+    Signature computation — the O(text length x k) hot loop — runs
+    once per distinct text and fans out over ``workers`` pool
+    processes (0 = sequential; ``None`` defers to the ambient
+    :func:`repro.parallel.resolve_workers` rule).  Candidate pairs
+    come from LSH band buckets (:func:`group_signatures_banded`), not
+    an all-pairs scan; at the default ``threshold=1.0`` the groups are
+    bit-identical to exact-signature bucketing, at any worker count.
 
     Returns:
         Groups of indices, each of size >= 2.
@@ -114,13 +275,10 @@ def group_by_signature(
         for idx, text in enumerate(texts)
         if strip_for_shingling(text)
     ]
-    signatures = parallel_map(
-        hasher.signature,
-        [text for __, text in eligible],
-        workers=workers,
-        label="minhash",
+    signatures = _distinct_signatures(
+        [text for __, text in eligible], hasher, workers, "minhash"
     )
-    buckets: dict[tuple[int, ...], list[int]] = defaultdict(list)
-    for (idx, __), signature in zip(eligible, signatures):
-        buckets[signature].append(idx)
-    return [members for members in buckets.values() if len(members) >= 2]
+    groups = group_signatures_banded(
+        signatures, threshold=threshold, n_bands=n_bands
+    )
+    return [[eligible[i][0] for i in members] for members in groups]

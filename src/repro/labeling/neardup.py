@@ -8,13 +8,15 @@ grouped by MinHash signature within each window.
 
 from __future__ import annotations
 
-from collections import defaultdict
-
 from ..features.content import normalize_text_for_dedup
-from ..parallel import parallel_map
 from ..twittersim.clock import SECONDS_PER_DAY
 from ..twittersim.entities import Tweet
-from .minhash import MinHasher
+from .minhash import (
+    DEFAULT_BANDS,
+    MinHasher,
+    _distinct_signatures,
+    group_signatures_banded,
+)
 
 #: Minimum raw content length considered (paper: 20 characters).
 MIN_CONTENT_LENGTH = 20
@@ -25,15 +27,21 @@ def group_near_duplicates(
     hasher: MinHasher | None = None,
     window_s: float = SECONDS_PER_DAY,
     workers: int | None = None,
+    threshold: float = 1.0,
+    n_bands: int = DEFAULT_BANDS,
 ) -> list[list[int]]:
     """Group indices of near-duplicate tweets per 1-day window.
 
     Normalization and windowing run in the parent (cheap, and the
     ``Tweet`` objects stay out of the pickle stream); the MinHash
-    signatures — the hot loop — fan out over ``workers`` pool
-    processes (0 = sequential; ``None`` defers to the ambient
-    :func:`repro.parallel.resolve_workers` rule).  Bucketing walks
-    indices in input order, so groups are identical at every worker
+    signatures — the hot loop — run once per distinct normalized text
+    and fan out over ``workers`` pool processes (0 = sequential;
+    ``None`` defers to the ambient
+    :func:`repro.parallel.resolve_workers` rule).  Candidate pairs
+    come from LSH band buckets scoped to the day window
+    (:func:`repro.labeling.minhash.group_signatures_banded`) instead
+    of an all-pairs scan; at the default ``threshold=1.0`` the groups
+    are bit-identical to exact-signature bucketing, at any worker
     count.
 
     Returns:
@@ -50,13 +58,16 @@ def group_near_duplicates(
             continue
         window = int(tweet.created_at // window_s)
         eligible.append((idx, window, normalized))
-    signatures = parallel_map(
-        hasher.signature,
+    signatures = _distinct_signatures(
         [normalized for __, __, normalized in eligible],
-        workers=workers,
-        label="neardup",
+        hasher,
+        workers,
+        "neardup",
     )
-    buckets: dict[tuple[int, tuple[int, ...]], list[int]] = defaultdict(list)
-    for (idx, window, __), signature in zip(eligible, signatures):
-        buckets[(window, signature)].append(idx)
-    return [members for members in buckets.values() if len(members) >= 2]
+    groups = group_signatures_banded(
+        signatures,
+        scopes=[window for __, window, __ in eligible],
+        threshold=threshold,
+        n_bands=n_bands,
+    )
+    return [[eligible[i][0] for i in members] for members in groups]

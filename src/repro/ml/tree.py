@@ -159,11 +159,16 @@ class _HistogramBuilder:
             node_idx, depth = stack.pop()
             slot = slots.pop()
             y_node = self.y[node_idx]
-            value[slot] = float(y_node.mean())
+            # One reduction serves both the node value and the purity
+            # check: sum/n is bit-identical to ``y_node.mean()`` (same
+            # add.reduce, same float64 division) without the numpy
+            # mean wrapper's per-call overhead.
+            y_total = float(y_node.sum())
+            value[slot] = y_total / len(y_node)
             if (
                 depth >= self.max_depth
                 or len(node_idx) < self.min_samples_split
-                or self._is_pure(y_node)
+                or self._is_pure(y_node, y_total)
             ):
                 continue
             split = self._best_split(node_idx, y_node)
@@ -189,9 +194,9 @@ class _HistogramBuilder:
             value=np.array(value, dtype=np.float64),
         )
 
-    def _is_pure(self, y_node: np.ndarray) -> bool:
+    def _is_pure(self, y_node: np.ndarray, y_total: float) -> bool:
         if self.criterion == "gini":
-            mean = y_node.mean()
+            mean = y_total / len(y_node)
             return mean == 0.0 or mean == 1.0
         return bool(np.all(y_node == y_node[0]))
 
@@ -205,52 +210,83 @@ class _HistogramBuilder:
     def _best_split(
         self, node_idx: np.ndarray, y_node: np.ndarray
     ) -> tuple[int, int, np.ndarray] | None:
-        best_score = np.inf
-        best: tuple[int, int] | None = None
         n = len(node_idx)
         msl = self.min_samples_leaf
         y_sq = y_node * y_node if self.criterion == "mse" else None
-        for f in self._candidate_features():
-            column = self.codes[node_idx, f]
-            n_bins = len(self.edges[f]) + 1
-            if n_bins < 2:
-                continue
-            counts = np.bincount(column, minlength=n_bins).astype(np.float64)
-            sums = np.bincount(column, weights=y_node, minlength=n_bins)
-            left_n = np.cumsum(counts)[:-1]
-            right_n = n - left_n
-            valid = (left_n >= msl) & (right_n >= msl)
-            if not np.any(valid):
-                continue
-            left_sum = np.cumsum(sums)[:-1]
-            right_sum = y_node.sum() - left_sum
-            with np.errstate(divide="ignore", invalid="ignore"):
-                if self.criterion == "gini":
-                    p_left = left_sum / left_n
-                    p_right = right_sum / right_n
-                    score = (
-                        left_n * 2 * p_left * (1 - p_left)
-                        + right_n * 2 * p_right * (1 - p_right)
-                    ) / n
-                else:
-                    sq = np.bincount(column, weights=y_sq, minlength=n_bins)
-                    left_sq = np.cumsum(sq)[:-1]
-                    right_sq = float(y_sq.sum()) - left_sq
-                    score = (
-                        left_sq
-                        - left_sum * left_sum / left_n
-                        + right_sq
-                        - right_sum * right_sum / right_n
-                    )
-            score = np.where(valid, score, np.inf)
-            b = int(np.argmin(score))
-            if score[b] < best_score:
-                best_score = float(score[b])
-                best = (int(f), b)
-        if best is None:
+        # One row gather instead of one fancy-index per candidate
+        # feature; the node's target sums are loop invariants.
+        sub = self.codes[node_idx]
+        y_sum = y_node.sum()
+        y_sq_sum = float(y_sq.sum()) if y_sq is not None else 0.0
+        cf = self._candidate_features()
+        n_cf = len(cf)
+        max_bins = max(
+            (len(self.edges[f]) + 1 for f in cf), default=0
+        )
+        if max_bins < 2:
             return None
-        f, b = best
-        left_mask = self.codes[node_idx, f] <= b
+        # All candidate histograms in ONE flattened bincount: column
+        # codes are offset per feature, so bin (f, b) accumulates at
+        # slot f*max_bins + b.  Raveling row-major visits each
+        # feature's rows in the same ascending order the per-feature
+        # bincount did, so the float sums (and everything downstream)
+        # are bitwise-identical to the feature-loop path.  Features
+        # narrower than max_bins pad with empty bins whose thresholds
+        # leave an empty right child — invalidated below, never picked.
+        sub_cf = sub[:, cf] if n_cf != sub.shape[1] else sub
+        flat = (
+            sub_cf.astype(np.int64)
+            + np.arange(n_cf, dtype=np.int64) * max_bins
+        ).ravel()
+        n_slots = n_cf * max_bins
+        counts = (
+            np.bincount(flat, minlength=n_slots)
+            .astype(np.float64)
+            .reshape(n_cf, max_bins)
+        )
+        sums = np.bincount(
+            flat, weights=np.repeat(y_node, n_cf), minlength=n_slots
+        ).reshape(n_cf, max_bins)
+        left_n = counts.cumsum(axis=1)[:, :-1]
+        right_n = n - left_n
+        valid = (left_n >= msl) & (right_n >= msl)
+        if not valid.any():
+            return None
+        left_sum = sums.cumsum(axis=1)[:, :-1]
+        right_sum = y_sum - left_sum
+        with np.errstate(divide="ignore", invalid="ignore"):
+            if self.criterion == "gini":
+                p_left = left_sum / left_n
+                p_right = right_sum / right_n
+                score = (
+                    left_n * 2 * p_left * (1 - p_left)
+                    + right_n * 2 * p_right * (1 - p_right)
+                ) / n
+            else:
+                sq = np.bincount(
+                    flat, weights=np.repeat(y_sq, n_cf), minlength=n_slots
+                ).reshape(n_cf, max_bins)
+                left_sq = sq.cumsum(axis=1)[:, :-1]
+                right_sq = y_sq_sum - left_sq
+                score = (
+                    left_sq
+                    - left_sum * left_sum / left_n
+                    + right_sq
+                    - right_sum * right_sum / right_n
+                )
+        score = np.where(valid, score, np.inf)
+        # Per-feature argmin keeps first-minimum tie-breaking; the
+        # scan over features in candidate order with a strict < then
+        # picks the first feature attaining the global minimum —
+        # exactly ``mins.argmin()``.
+        b_of = score.argmin(axis=1)
+        mins = score[np.arange(n_cf), b_of]
+        j = int(mins.argmin())
+        if not np.isfinite(mins[j]):
+            return None
+        f = int(cf[j])
+        b = int(b_of[j])
+        left_mask = sub[:, f] <= b
         # Guard: degenerate splits give no progress.
         if not left_mask.any() or left_mask.all():
             return None

@@ -16,6 +16,7 @@ import re
 #: The DESIGN.md dotted taxonomy: one namespace per pipeline layer.
 NAMESPACES = (
     "engine",
+    "features",
     "network",
     "label",
     "ml",

@@ -123,13 +123,55 @@ class RestClient:
             raise ValueError(
                 f"lookup_users accepts at most {self.LOOKUP_BATCH} ids"
             )
+        rows = self.lookup_user_rows(user_ids)
+        if rows is not None:
+            return self._engine.population.cols.snapshot_rows(rows)
         self._gate(self.USERS_LOOKUP)
+        population = self._engine.population
         profiles = []
         for user_id in user_ids:
-            account = self._engine.population.accounts.get(user_id)
+            account = population.accounts.get(user_id)
             if account is not None and not account.suspended:
                 profiles.append(account.snapshot())
         return profiles
+
+    def lookup_user_rows(self, user_ids: list[int]) -> list[int] | None:
+        """Columnar ``lookup_users``: surviving row indices, not objects.
+
+        Resolves ids against the account store's columnar arrays and
+        screens suspension without materializing profile snapshots —
+        callers that only need column reads (e.g. the selection layer's
+        attribute screening) skip object construction entirely.  Gates
+        and filters exactly like :meth:`lookup_users`.
+
+        Returns ``None`` (without consuming a rate-limit slot) when the
+        population has no columnar store; callers fall back to
+        :meth:`lookup_users`.
+
+        Raises:
+            ValueError: if more than ``LOOKUP_BATCH`` ids are passed.
+        """
+        if len(user_ids) > self.LOOKUP_BATCH:
+            raise ValueError(
+                f"lookup_users accepts at most {self.LOOKUP_BATCH} ids"
+            )
+        population = self._engine.population
+        cols = population.cols
+        if cols is None:
+            return None
+        self._gate(self.USERS_LOOKUP)
+        index_of = population.index_of
+        suspended = cols._arrays["suspended"]
+        return [
+            row
+            for row in (index_of.get(uid) for uid in user_ids)
+            if row is not None and not suspended.item(row)
+        ]
+
+    @property
+    def account_columns(self):
+        """The population's columnar account store (None in object mode)."""
+        return self._engine.population.cols
 
     def is_suspended(self, user_id: int) -> bool:
         """True if a known account is currently suspended.

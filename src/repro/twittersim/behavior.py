@@ -40,22 +40,34 @@ NORMAL_KIND_PROBS = np.array([0.72, 0.17, 0.11])
 SPAMMER_KIND_PROBS = np.array([0.90, 0.06, 0.04])
 
 
-_NORMAL_SOURCE_CUM = np.cumsum(NORMAL_SOURCE_PROBS)
-_SPAMMER_SOURCE_CUM = np.cumsum(SPAMMER_SOURCE_PROBS)
-_NORMAL_KIND_CUM = np.cumsum(NORMAL_KIND_PROBS)
-_SPAMMER_KIND_CUM = np.cumsum(SPAMMER_KIND_PROBS)
+# Cumulative thresholds as plain Python floats: the draw below is a
+# 3-4 way comparison chain, which beats even the ndarray.searchsorted
+# method (these run once or twice per finalized tweet).  The chain
+# picks the first threshold >= r — exactly searchsorted(side="left").
+_NORMAL_SOURCE_T = tuple(np.cumsum(NORMAL_SOURCE_PROBS).tolist())
+_SPAMMER_SOURCE_T = tuple(np.cumsum(SPAMMER_SOURCE_PROBS).tolist())
+_NORMAL_KIND_T = tuple(np.cumsum(NORMAL_KIND_PROBS).tolist())
+_SPAMMER_KIND_T = tuple(np.cumsum(SPAMMER_KIND_PROBS).tolist())
 
 
 def draw_source(rng: np.random.Generator, spammer: bool) -> TweetSource:
     """Sample a client source label for a new tweet."""
-    cum = _SPAMMER_SOURCE_CUM if spammer else _NORMAL_SOURCE_CUM
-    return _SOURCES[int(np.searchsorted(cum, rng.random()))]
+    t = _SPAMMER_SOURCE_T if spammer else _NORMAL_SOURCE_T
+    r = rng.random()
+    if r <= t[0]:
+        return _SOURCES[0]
+    if r <= t[1]:
+        return _SOURCES[1]
+    return _SOURCES[2] if r <= t[2] else _SOURCES[3]
 
 
 def draw_kind(rng: np.random.Generator, spammer: bool) -> TweetKind:
     """Sample a tweet/retweet/quote status for a new post."""
-    cum = _SPAMMER_KIND_CUM if spammer else _NORMAL_KIND_CUM
-    return _KINDS[int(np.searchsorted(cum, rng.random()))]
+    t = _SPAMMER_KIND_T if spammer else _NORMAL_KIND_T
+    r = rng.random()
+    if r <= t[0]:
+        return _KINDS[0]
+    return _KINDS[1] if r <= t[1] else _KINDS[2]
 
 
 #: Median organic reaction delay to a post (seconds): ~20 minutes.

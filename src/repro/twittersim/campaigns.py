@@ -130,6 +130,51 @@ class SpammerTasteModel:
         age_factor = math.exp(-(math.log(age / AGE_PEAK_DAYS) ** 2) / 2.0)
         return score * (0.55 + 0.9 * age_factor)
 
+    def profile_score_batch(
+        self,
+        now: float,
+        created_at: np.ndarray,
+        friends: np.ndarray,
+        followers: np.ndarray,
+        listed: np.ndarray,
+        favourites: np.ndarray,
+        statuses: np.ndarray,
+    ) -> np.ndarray:
+        """Column-wise :meth:`profile_score` over account batches.
+
+        The attribute terms are rational arithmetic (+, -, *, /), which
+        IEEE-754 evaluates identically element-wise and scalar, so the
+        vector path is bitwise-equal to the scalar one.  The age bell
+        curve is transcendental — ``np.log``/``np.exp`` drift from
+        ``math.log``/``math.exp`` in the last ulp — so it stays a
+        scalar loop over the (much shorter) batch.
+        """
+        w = self.weights
+        age = np.maximum((now - created_at) / 86400.0, 1.0)
+        lists_per_day = listed / age
+        total = friends + followers
+        ratio = friends / np.maximum(followers, 1)
+        inverse_ratio = 1.0 / np.maximum(ratio, 1e-3)
+        score = (
+            w.lists_per_day * _saturate(lists_per_day / w.lists_per_day_scale)
+            + w.followers * _saturate(followers / w.followers_scale)
+            + w.total_friends_followers * _saturate(total / w.total_scale)
+            + w.listed_count * _saturate(listed / w.listed_scale)
+            + w.friends * _saturate(friends / w.friends_scale)
+            + w.favourites * _saturate(favourites / w.favourites_scale)
+            + w.statuses * _saturate(statuses / w.statuses_scale)
+            + w.inverse_ratio * _saturate(inverse_ratio / w.inverse_ratio_scale)
+        )
+        out = np.empty(len(score), dtype=np.float64)
+        age_list = age.tolist()
+        score_list = score.tolist()
+        for i, (age_i, score_i) in enumerate(zip(age_list, score_list)):
+            age_factor = math.exp(
+                -(math.log(age_i / AGE_PEAK_DAYS) ** 2) / 2.0
+            )
+            out[i] = score_i * (0.55 + 0.9 * age_factor)
+        return out
+
     def context_multiplier(
         self,
         hashtag_category: HashtagCategory | None,

@@ -24,6 +24,7 @@ whole-world runs are reproducible.
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_right
 import logging
 import time
 from collections import deque
@@ -113,6 +114,16 @@ class TwitterEngine:
         self._trending_up: set[str] = set()
         self._trending_down: set[str] = set()
         self._popular: set[str] = set()
+        # Compromised relays are fixed at build time (no later path
+        # flips an account to COMPROMISED), so resolve them once in
+        # ground-truth insertion order instead of scanning the whole
+        # account_kind dict every hour.
+        # repro-lint: disable=RPL501 -- init-time scan, runs once per world
+        self._compromised_uids = [
+            uid
+            for uid, kind in population.truth.account_kind.items()
+            if kind is AccountKind.COMPROMISED
+        ]
         # Per-hour cache of taste profile scores: profiles drift slowly,
         # so one evaluation per (account, hour) suffices for victim
         # sampling, cutting the hot path by ~50x.
@@ -343,17 +354,30 @@ class TwitterEngine:
         rates = pop.post_rate_per_day * scale / 24.0
         counts = self.rng.poisson(rates)
         posting = np.nonzero(counts)[0]
+        if len(posting):
+            # Suspended accounts never post and consume no draws, so
+            # filtering them out up front is stream-identical to the
+            # per-account check it replaces.
+            suspended = np.asarray(pop.suspended_flags())
+            posting = posting[~suspended[posting]]
         topic_weights = self.topic_process.weights_at(hour)
         topic_probs = topic_weights / topic_weights.sum()
+        # Generator.choice(p=...) rebuilds this normalized cumulative
+        # array (and re-validates p) on every call; hoisting it per
+        # hour (as plain floats — bisect beats a scalar searchsorted
+        # at this size) keeps the per-post draw a single bisection.
+        topic_cdf = topic_probs.cumsum()
+        topic_cdf /= topic_cdf[-1]
+        topic_cdf = topic_cdf.tolist()
         tweets: list[Tweet] = []
-        for idx in posting:
-            user_id = pop.order[idx]
-            account = pop.accounts[user_id]
-            if account.suspended:
-                continue
+        order = pop.order
+        accounts = pop.accounts
+        for idx in posting.tolist():
+            user_id = order[idx]
+            account = accounts[user_id]
             for __ in range(int(counts[idx])):
                 tweet = self._make_organic_post(
-                    account, t0, t_end, topic_probs
+                    account, t0, t_end, topic_cdf, user_id, idx
                 )
                 tweets.append(tweet)
                 self._recent_posts.append(tweet)
@@ -365,27 +389,44 @@ class TwitterEngine:
         account: AccountState,
         t0: float,
         t_end: float,
-        topic_probs: np.ndarray,
+        topic_cdf: list[float],
+        user_id: int | None = None,
+        idx: int | None = None,
     ) -> Tweet:
         rng = self.rng
         pop = self.population
-        created_at = float(rng.uniform(t0, t_end))
-        interests = pop.interests.get(account.user_id, ())
+        if user_id is None:
+            user_id = account.user_id
+        # low + range * next_double is exactly what Generator.uniform
+        # computes; spelling it out skips the broadcast machinery.
+        created_at = t0 + (t_end - t0) * rng.random()
+        interests = pop.interests.get(user_id, ())
         hashtags: tuple[str, ...] = ()
         if interests and rng.random() < 0.7:
             category = interests[int(rng.integers(0, len(interests)))]
             pool = HASHTAG_POOLS[category]
-            n_tags = 1 if rng.random() < 0.8 else 2
-            picks = rng.choice(len(pool), size=n_tags, replace=False)
-            hashtags = tuple(pool[int(j)] for j in picks)
+            if rng.random() < 0.8:
+                # choice(n, size=1, replace=False) is one tail-shuffle
+                # swap, i.e. exactly one bounded-integers draw — the
+                # direct draw is bit-stream identical and ~10x cheaper.
+                hashtags = (pool[int(rng.integers(0, len(pool)))],)
+            else:
+                picks = rng.choice(len(pool), size=2, replace=False)
+                hashtags = tuple(pool[int(j)] for j in picks)
         topic: str | None = None
-        idx = pop.index_of[account.user_id]
+        if idx is None:
+            idx = pop.index_of[user_id]
+        topic_affinity = pop.topic_affinity
         affinity = (
-            pop.topic_affinity[idx] if idx < len(pop.topic_affinity) else 0.0
+            topic_affinity.item(idx)
+            if idx < len(topic_affinity)
+            else 0.0
         )
         if rng.random() < affinity:
+            # Identical to choice(len(p), p=p): one uniform draw against
+            # the hoisted cumulative distribution.
             topic = self.topic_process.topics[
-                int(rng.choice(len(topic_probs), p=topic_probs))
+                bisect_right(topic_cdf, rng.random())
             ]
             self.trending.record(topic, int(created_at // SECONDS_PER_HOUR))
         kind = behavior.draw_kind(rng, spammer=False)
@@ -478,7 +519,7 @@ class TwitterEngine:
         # once per hour: exact taste-proportional sampling (a small
         # random subsample would flatten the concentration the paper's
         # skewed attribute results imply).
-        weights = np.array([self._victim_score(p) for p in candidates])
+        weights = self._victim_weights(candidates)
         total_weight = float(weights.sum())
         if total_weight <= 0:
             return tweets
@@ -524,9 +565,7 @@ class TwitterEngine:
                     tweets.append(tweet)
                     stats.spam_mentions += 1
 
-        for uid, kind in pop.truth.account_kind.items():
-            if kind is not AccountKind.COMPROMISED:
-                continue
+        for uid in self._compromised_uids:
             relay = pop.accounts[uid]
             if relay.suspended or rng.random() > 0.02:
                 continue
@@ -573,7 +612,7 @@ class TwitterEngine:
         rng = self.rng
         if not candidates:
             return None
-        pick = int(np.searchsorted(cumulative, rng.random(), side="right"))
+        pick = int(cumulative.searchsorted(rng.random(), side="right"))
         victim_post = candidates[min(pick, len(candidates) - 1)]
         victim = victim_post.user
         if victim.user_id == sender.user_id:
@@ -618,6 +657,61 @@ class TwitterEngine:
             base ** self.taste.weights.concentration
         ) * self.taste.context_multiplier(category, trending_status)
 
+    def _victim_weights(self, candidates: list[Tweet]) -> np.ndarray:
+        """Taste weights for all victim candidates, column-wise.
+
+        In columnar mode the uncached profile base scores are computed
+        in one :meth:`SpammerTasteModel.profile_score_batch` call over
+        the candidate rows; the per-post context multipliers stay
+        scalar.  Object mode falls back to per-post scoring.
+        """
+        pop = self.population
+        cols = pop.cols
+        if cols is None:
+            return np.array([self._victim_score(p) for p in candidates])
+        if self._score_cache_hour != self.clock.hour:
+            self._score_cache.clear()
+            self._score_cache_hour = self.clock.hour
+        cache = self._score_cache
+        index_of = pop.index_of
+        arrays = cols._arrays
+        suspended = arrays["suspended"]
+        rows = [index_of.get(p.user.user_id, -1) for p in candidates]
+        need: list[tuple[int, int]] = []
+        for post, row in zip(candidates, rows):
+            uid = post.user.user_id
+            if row >= 0 and not suspended[row] and uid not in cache:
+                need.append((uid, row))
+        if need:
+            picked = np.array([row for __, row in need], dtype=np.intp)
+            bases = self.taste.profile_score_batch(
+                self.clock.now,
+                arrays["created_at"][picked],
+                arrays["friends_count"][picked],
+                arrays["followers_count"][picked],
+                arrays["listed_count"][picked],
+                arrays["favourites_count"][picked],
+                arrays["statuses_count"][picked],
+            )
+            for (uid, __), base in zip(need, bases.tolist()):
+                cache[uid] = base
+        concentration = self.taste.weights.concentration
+        weights = np.empty(len(candidates), dtype=np.float64)
+        for i, post in enumerate(candidates):
+            row = rows[i]
+            if row < 0 or suspended[row]:
+                weights[i] = 0.0
+                continue
+            category: HashtagCategory | None = None
+            if post.hashtags:
+                category = category_of(post.hashtags[0])
+            weights[i] = (
+                cache[post.user.user_id] ** concentration
+            ) * self.taste.context_multiplier(
+                category, self.trending_status_of(post.topic)
+            )
+        return weights
+
     # -- shared tweet assembly ----------------------------------------------
 
     def _finalize_tweet(
@@ -633,8 +727,10 @@ class TwitterEngine:
         topic: str | None = None,
         in_reply_to: Tweet | None = None,
     ) -> Tweet:
-        urls = tuple(
-            token for token in text.split() if token.startswith("http")
+        urls = (
+            tuple(token for token in text.split() if token.startswith("http"))
+            if "http" in text
+            else ()
         )
         sender.statuses_count += 1
         sender.last_post_at = created_at
@@ -670,44 +766,107 @@ class TwitterEngine:
         """Organic accounts slowly gain favourites (Poisson per hour)."""
         pop = self.population
         counts = self.rng.poisson(pop.fav_rate_per_day / 24.0)
-        for idx in np.nonzero(counts)[0]:
+        grew = np.nonzero(counts)[0]
+        if pop.cols is not None:
+            favourites = pop.cols.favourites_count
+            favourites[grew] += counts[grew]
+            return
+        for idx in grew:
             account = pop.accounts[pop.order[idx]]
             account.favourites_count += int(counts[idx])
 
     def _run_suspension(self) -> int:
+        """Per-account suspension hazard, vectorized by segments.
+
+        The scalar loop drew one uniform per live account in ``order``
+        sequence; a respawn hit inserts extra draws mid-stream (the new
+        member's profile).  Batching the whole population would
+        therefore diverge the RNG stream the moment a respawn fires, so
+        draws are *segmented*: maximal runs of positions that cannot
+        trigger extra draws (everything except campaign members when
+        respawn is on) get one vector draw over their live accounts,
+        while respawn-capable positions draw scalar in place.  The
+        result is bit-identical to the scalar loop at any world size.
+        """
         pop = self.population
         config = pop.config
         rng = self.rng
+        n0 = len(pop.order)
+        # Snapshot is safe for positions < n0: processing a position
+        # never changes another position's flags, and respawns only
+        # append past n0.
+        live = ~np.asarray(pop.suspended_flags()[:n0])
+        rates = np.where(
+            pop.spam_hazard[:n0],
+            config.spam_suspension_rate,
+            config.normal_suspension_rate,
+        )
         suspended = 0
-        for uid in pop.order:
+
+        def run_segment(start: int, end: int) -> int:
+            hits = 0
+            positions = np.nonzero(live[start:end])[0]
+            if not len(positions):
+                return 0
+            positions += start
+            draws = rng.random(len(positions))
+            for pos in positions[draws < rates[positions]]:
+                pop.accounts[pop.order[int(pos)]].suspended = True
+                hits += 1
+            return hits
+
+        def check_scalar(pos: int) -> int:
+            uid = pop.order[pos]
             account = pop.accounts[uid]
             if account.suspended:
-                continue
+                return 0
             kind = pop.truth.account_kind[uid]
             rate = (
                 config.spam_suspension_rate
                 if kind.is_spammer and kind is not AccountKind.COMPROMISED
                 else config.normal_suspension_rate
             )
-            if rng.random() < rate:
-                account.suspended = True
-                suspended += 1
-                campaign_id = pop.truth.account_campaign.get(uid)
-                if (
-                    config.campaign_respawn
-                    and kind is AccountKind.CAMPAIGN_SPAMMER
-                    and campaign_id is not None
-                ):
-                    campaign = pop.campaigns[campaign_id]
-                    campaign.member_ids.remove(uid)
-                    pop.spawn_campaign_member(campaign, self.clock.now)
+            if rng.random() >= rate:
+                return 0
+            account.suspended = True
+            campaign_id = pop.truth.account_campaign.get(uid)
+            if (
+                config.campaign_respawn
+                and kind is AccountKind.CAMPAIGN_SPAMMER
+                and campaign_id is not None
+            ):
+                campaign = pop.campaigns[campaign_id]
+                campaign.member_ids.remove(uid)
+                pop.spawn_campaign_member(campaign, self.clock.now)
+            return 1
+
+        if config.campaign_respawn:
+            respawn_capable = np.nonzero(pop.campaign_member_flags[:n0])[0]
+        else:
+            respawn_capable = np.zeros(0, dtype=np.int64)
+        start = 0
+        for sp in respawn_capable:
+            sp = int(sp)
+            if sp > start:
+                suspended += run_segment(start, sp)
+            suspended += check_scalar(sp)
+            start = sp + 1
+        if start < n0:
+            suspended += run_segment(start, n0)
+        # Members respawned above appended themselves to ``order`` and
+        # face the hazard within the same hour, exactly as the scalar
+        # loop visited them while iterating the growing list.
+        pos = n0
+        while pos < len(pop.order):
+            suspended += check_scalar(pos)
+            pos += 1
         return suspended
 
     def _index_tweet(self, tweet: Tweet) -> None:
         self._search_index.append(tweet)
-        timeline = self._timelines.setdefault(
-            tweet.user.user_id, deque(maxlen=5)
-        )
+        timeline = self._timelines.get(tweet.user.user_id)
+        if timeline is None:
+            timeline = self._timelines[tweet.user.user_id] = deque(maxlen=5)
         timeline.append(tweet)
 
     def _expire_recent_posts(self, now: float) -> None:

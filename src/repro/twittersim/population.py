@@ -22,6 +22,7 @@ import numpy as np
 
 from .campaigns import Campaign, make_campaign
 from .clock import days
+from .columnar import AccountColumns, AccountMap
 from .config import SimulationConfig
 from .entities import AccountState
 from .hashtags import HashtagCategory
@@ -98,34 +99,146 @@ class _NameRegistry:
         return name
 
 
-@dataclass
 class Population:
     """The full account population plus supporting stores.
 
     ``rates`` arrays are indexed by position; ``index_of`` maps user id
     to position.  The engine uses the arrays for vectorized per-hour
     activity sampling.
+
+    Per-position arrays (rates, affinity, flags) are backed by
+    capacity-doubling buffers so late registration (campaign respawn,
+    operator accounts) stays amortized O(1); the public attributes
+    expose the live ``[:n]`` slice, which aliases the buffer and is
+    therefore writable in place.
+
+    When ``config.columnar`` is set (the default), account state lives
+    in :class:`~repro.twittersim.columnar.AccountColumns` and
+    ``accounts`` is an :class:`~repro.twittersim.columnar.AccountMap`
+    of thin views; otherwise it is a plain dict of
+    :class:`~repro.twittersim.entities.AccountState` objects.  Both
+    modes are bitwise-identical in behavior (see the columnar parity
+    suite); row index in the columns always equals ``index_of[uid]``.
     """
 
-    config: SimulationConfig
-    accounts: dict[int, AccountState]
-    order: list[int]
-    index_of: dict[int, int]
-    post_rate_per_day: np.ndarray
-    fav_rate_per_day: np.ndarray
-    interests: dict[int, tuple[HashtagCategory, ...]]
-    topic_affinity: np.ndarray
-    campaigns: list[Campaign]
-    truth: GroundTruth
-    images: ImageStore
-    text: TextGenerator
-    lone_spammer_templates: dict[int, tuple[str, int]]
-    rng: np.random.Generator
-    names: "_NameRegistry"
-    #: Accounts exempt from burst dormancy (operator-run honeypots
-    #: post on a schedule regardless of organic session patterns).
-    always_on: np.ndarray = field(default_factory=lambda: np.zeros(0, bool))
-    _next_user_id: int = 0
+    def __init__(
+        self,
+        config: SimulationConfig,
+        accounts: dict[int, AccountState],
+        order: list[int],
+        index_of: dict[int, int],
+        post_rate_per_day: np.ndarray,
+        fav_rate_per_day: np.ndarray,
+        interests: dict[int, tuple[HashtagCategory, ...]],
+        topic_affinity: np.ndarray,
+        campaigns: list[Campaign],
+        truth: GroundTruth,
+        images: ImageStore,
+        text: TextGenerator,
+        lone_spammer_templates: dict[int, tuple[str, int]],
+        rng: np.random.Generator,
+        names: "_NameRegistry",
+        always_on: np.ndarray | None = None,
+        _next_user_id: int = 0,
+    ) -> None:
+        self.config = config
+        self.accounts = accounts
+        self.order = order
+        self.index_of = index_of
+        self.interests = interests
+        self.campaigns = campaigns
+        self.truth = truth
+        self.images = images
+        self.text = text
+        self.lone_spammer_templates = lone_spammer_templates
+        self.rng = rng
+        self.names = names
+        self._next_user_id = _next_user_id
+        self.cols: AccountColumns | None = None
+        n = len(order)
+        self._n_rows = n
+        capacity = max(n, 1)
+        self._post_rate = np.zeros(capacity, dtype=np.float64)
+        self._post_rate[:n] = post_rate_per_day
+        self._fav_rate = np.zeros(capacity, dtype=np.float64)
+        self._fav_rate[:n] = fav_rate_per_day
+        self._topic_affinity = np.zeros(capacity, dtype=np.float64)
+        self._topic_affinity[:n] = topic_affinity
+        self._always_on = np.zeros(capacity, dtype=bool)
+        if always_on is not None:
+            self._always_on[:n] = always_on
+        #: True where the account's role carries the *spam* suspension
+        #: hazard (campaign members and lone wolves; compromised relays
+        #: keep the normal hazard).  Maintained by ``_register``.
+        self._spam_hazard = np.zeros(capacity, dtype=bool)
+        #: True for campaign members (respawn-capable under suspension).
+        self._campaign_member = np.zeros(capacity, dtype=bool)
+
+    # -- per-position array views -----------------------------------------
+
+    @property
+    def post_rate_per_day(self) -> np.ndarray:
+        return self._post_rate[: self._n_rows]
+
+    @property
+    def fav_rate_per_day(self) -> np.ndarray:
+        return self._fav_rate[: self._n_rows]
+
+    @property
+    def topic_affinity(self) -> np.ndarray:
+        return self._topic_affinity[: self._n_rows]
+
+    @property
+    def always_on(self) -> np.ndarray:
+        """Accounts exempt from burst dormancy (operator honeypots)."""
+        return self._always_on[: self._n_rows]
+
+    @property
+    def spam_hazard(self) -> np.ndarray:
+        return self._spam_hazard[: self._n_rows]
+
+    @property
+    def campaign_member_flags(self) -> np.ndarray:
+        return self._campaign_member[: self._n_rows]
+
+    def _grow_position_arrays(self) -> None:
+        if self._n_rows < len(self._post_rate):
+            return
+        capacity = max(2 * len(self._post_rate), self._n_rows + 1)
+        for attr in (
+            "_post_rate",
+            "_fav_rate",
+            "_topic_affinity",
+            "_always_on",
+            "_spam_hazard",
+            "_campaign_member",
+        ):
+            old = getattr(self, attr)
+            grown = np.zeros(capacity, dtype=old.dtype)
+            grown[: self._n_rows] = old[: self._n_rows]
+            setattr(self, attr, grown)
+
+    # -- columnar backend --------------------------------------------------
+
+    def to_columnar(self) -> None:
+        """Move account state into columns; ``accounts`` becomes views.
+
+        Row index equals registration order, i.e. ``index_of[uid]``.
+        """
+        cols = AccountColumns(capacity=max(len(self.order), 1))
+        for uid in self.order:
+            cols.append_state(self.accounts[uid])
+        self.cols = cols
+        self.accounts = AccountMap(cols, self.index_of)
+
+    def suspended_flags(self) -> np.ndarray:
+        """Per-position suspension flags (columnar: aliasing view)."""
+        if self.cols is not None:
+            return self.cols.suspended
+        flags = np.empty(len(self.order), dtype=bool)
+        for i, uid in enumerate(self.order):
+            flags[i] = self.accounts[uid].suspended
+        return flags
 
     # -- queries ----------------------------------------------------------
 
@@ -135,6 +248,11 @@ class Population:
 
     def live_ids(self) -> list[int]:
         """Ids of accounts that are not suspended."""
+        if self.cols is not None:
+            order = self.order
+            return [
+                order[i] for i in np.nonzero(~self.cols.suspended)[0]
+            ]
         return [uid for uid in self.order if not self.accounts[uid].suspended]
 
     def normal_ids(self) -> list[int]:
@@ -225,16 +343,25 @@ class Population:
         return user_id
 
     def _register(self, account: AccountState, kind: AccountKind) -> None:
-        self.accounts[account.user_id] = account
+        if self.cols is not None:
+            # Row index equals position in ``order`` by construction.
+            self.cols.append_state(account)
+        else:
+            self.accounts[account.user_id] = account
         self.index_of[account.user_id] = len(self.order)
         self.order.append(account.user_id)
         self.truth.account_kind[account.user_id] = kind
         # Spam accounts post through their campaign logic, not the
-        # organic rate arrays, so extend rates with zeros.
-        self.post_rate_per_day = np.append(self.post_rate_per_day, 0.0)
-        self.fav_rate_per_day = np.append(self.fav_rate_per_day, 0.0)
-        self.topic_affinity = np.append(self.topic_affinity, 0.0)
-        self.always_on = np.append(self.always_on, False)
+        # organic rate arrays, so extend rates with zeros (the buffers
+        # grow geometrically; new slots are already zero-filled).
+        self._grow_position_arrays()
+        self._n_rows += 1
+        idx = self._n_rows - 1
+        self._spam_hazard[idx] = kind in (
+            AccountKind.CAMPAIGN_SPAMMER,
+            AccountKind.LONE_SPAMMER,
+        )
+        self._campaign_member[idx] = kind is AccountKind.CAMPAIGN_SPAMMER
         self.interests[account.user_id] = ()
 
 
@@ -357,7 +484,8 @@ def build_population(config: SimulationConfig) -> Population:
     for cid in range(config.n_campaigns):
         base_image = images.new_campaign_base()
         bio_words = tuple(
-            str(w) for w in rng.choice(BENIGN_WORDS, size=6)
+            BENIGN_WORDS[int(i)]
+            for i in rng.integers(0, len(BENIGN_WORDS), size=6)
         )
         campaign = make_campaign(
             cid,
@@ -405,12 +533,18 @@ def build_population(config: SimulationConfig) -> Population:
         if account.default_profile_image:
             account.profile_image_id = DEFAULT_IMAGE_ID
         population._register(account, AccountKind.LONE_SPAMMER)
-        keyword_class = str(
-            rng.choice(("money", "adult", "promo", "deception"))
-        )
+        keyword_classes = ("money", "adult", "promo", "deception")
+        keyword_class = keyword_classes[
+            int(rng.integers(0, len(keyword_classes)))
+        ]
         population.lone_spammer_templates[user_id] = (
             keyword_class,
             int(rng.integers(0, 1000)),
         )
+
+    # The build above runs in object mode (no RNG draws depend on the
+    # storage backend), then state moves into flat columns in one pass.
+    if config.columnar:
+        population.to_columnar()
 
     return population

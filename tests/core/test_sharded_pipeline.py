@@ -1,0 +1,85 @@
+"""End-to-end worker invariance of the sharded pipeline.
+
+The acceptance bar for account-range sharding: run the *whole* paper
+pipeline (world -> ground truth -> detector -> sweep -> Table VI) on a
+sharded world at several worker counts and require the final payloads
+— capture streams, verdicts, and the PGE/Table-VI ranking — to be
+bitwise equal.  Worker count is a pure throughput knob everywhere, not
+just inside the engine hour loop.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.experiment import PseudoHoneypotExperiment
+from repro.core.pge import pge_by_sample, ranking_payload
+from repro.obs import reset, set_enabled
+from repro.twittersim import SimulationConfig
+
+
+def _run_pipeline(workers: int) -> dict:
+    reset()
+    set_enabled(True)
+    experiment = PseudoHoneypotExperiment(
+        SimulationConfig.small(seed=17, engine_shards=3),
+        candidate_pool=300,
+        workers=workers,
+    )
+    experiment.warm_up(2)
+    collection = experiment.collect_ground_truth(
+        hours=4, n_targets=5, per_value=3
+    )
+    dataset = experiment.label_ground_truth(collection)
+    detector = experiment.train_detector(collection, dataset)
+    sweep = experiment.run_full_network(hours=1, per_value=1)
+    outcome = experiment.classify(detector, sweep)
+    payload = {
+        "gt_captures": [
+            c.tweet.to_json() for c in collection.captures
+        ],
+        "labels": [
+            [tweet.tweet_id, int(label)]
+            for tweet, label in zip(
+                dataset.tweets, dataset.tweet_labels.tolist()
+            )
+        ],
+        "sweep_captures": [
+            c.tweet.tweet_id for c in sweep.captures
+        ],
+        "verdicts": [
+            [c.tweet.tweet_id, int(spam)]
+            for c, spam in zip(
+                outcome.captures, outcome.is_spam.tolist()
+            )
+        ],
+        "spammer_ids": sorted(outcome.spammer_ids),
+        "table_vi": ranking_payload(
+            pge_by_sample(outcome, sweep.exposure)
+        ),
+    }
+    reset()
+    return payload
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    return {workers: _run_pipeline(workers) for workers in (0, 2, 4)}
+
+
+class TestShardedPipelineWorkerInvariance:
+    def test_payloads_nonempty(self, payloads):
+        base = payloads[0]
+        assert base["gt_captures"]
+        assert base["labels"]
+        assert base["verdicts"]
+        assert any(label for __, label in base["labels"])
+        assert base["table_vi"]
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_final_payloads_bitwise_equal(self, payloads, workers):
+        base = json.dumps(payloads[0], sort_keys=True)
+        other = json.dumps(payloads[workers], sort_keys=True)
+        assert other == base

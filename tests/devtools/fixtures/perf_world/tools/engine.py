@@ -1,0 +1,5 @@
+"""Hot-module *name* outside deterministic scope: RPL501 silent."""
+
+
+def sweep(population):
+    return [a.user_id for a in population.accounts.values()]

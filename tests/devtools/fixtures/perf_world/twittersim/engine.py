@@ -1,0 +1,43 @@
+"""Known-bad hot-module fixture (linted, never imported).
+
+Every violation below is asserted by exact rule id and line number in
+``test_perf_rules.py`` — renumber carefully.
+"""
+
+
+def sweep_views(population):
+    total = 0
+    for account in population.accounts.values():  # line 10: RPL501
+        total += account.statuses_count
+    return total
+
+
+def sweep_items(pop):
+    out = {}
+    for uid, account in pop.accounts.items():  # line 17: RPL501
+        out[uid] = account.followers_count
+    return out
+
+
+def sweep_bare(accounts):
+    return [a for a in accounts]  # line 23: RPL501
+
+
+def sweep_truth(population):
+    return {  # RPL501 anchors on the comp below
+        uid: kind  # line 27: RPL501
+        for uid, kind in population.truth.account_kind.items()
+    }
+
+
+def keyed_lookup_is_fine(pop, user_id):
+    return pop.accounts[user_id]
+
+
+def pragma_opt_out(population):
+    # repro-lint: disable=RPL501 -- fixture: deliberate object-wise pass
+    return [a.user_id for a in population.accounts.values()]
+
+
+def other_collections_are_fine(tweets):
+    return [t.tweet_id for t in tweets]

@@ -1,0 +1,5 @@
+"""Not a hot module: RPL501 never applies here, even in scope."""
+
+
+def summarize(population):
+    return [a.user_id for a in population.accounts.values()]

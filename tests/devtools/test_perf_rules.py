@@ -1,0 +1,58 @@
+"""Performance rule (RPL501) against ``perf_world``.
+
+Exact rule-id + line assertions like the other fixture families.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint import ALL_RULES, run_lint, select_rules
+from repro.devtools.lint.perf_rules import HOT_MODULES
+
+from tests.devtools.conftest import FIXTURES, rule_lines
+
+WORLD = FIXTURES / "perf_world"
+
+
+def lint_world():
+    rules = select_rules(ALL_RULES, select=["RPL5"])
+    findings, _ = run_lint([WORLD], rules=rules, root=FIXTURES)
+    return findings
+
+
+class TestPerAccountLoop:
+    def test_exact_lines_in_hot_module(self):
+        findings = lint_world()
+        assert rule_lines(findings, "RPL501", "twittersim/engine.py") == [
+            10,
+            17,
+            23,
+            27,
+        ]
+
+    def test_messages_name_the_store(self):
+        findings = [f for f in lint_world() if f.rule == "RPL501"]
+        assert all("columnar" in f.message for f in findings)
+        segments = {
+            f.message.split("`")[1] for f in findings
+        }
+        assert segments == {"accounts", "account_kind"}
+
+    def test_not_hot_module_silent(self):
+        findings = lint_world()
+        assert (
+            rule_lines(findings, "RPL501", "twittersim/reporting.py")
+            == []
+        )
+
+    def test_outside_deterministic_scope_silent(self):
+        findings = lint_world()
+        assert rule_lines(findings, "RPL501", "tools/engine.py") == []
+
+    def test_pragma_suppresses(self):
+        # The pragma'd sweep in engine.py (line 39-40) yields nothing:
+        # exactly four findings in the whole world.
+        findings = [f for f in lint_world() if f.rule == "RPL501"]
+        assert len(findings) == 4
+
+    def test_hot_module_set_names_the_refactored_paths(self):
+        assert {"engine.py", "extractor.py", "selection.py"} <= HOT_MODULES
