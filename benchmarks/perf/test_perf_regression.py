@@ -108,8 +108,10 @@ def test_ledger_trajectory_accumulates_and_gates(tmp_path):
         if line.strip()
     ]
     assert [entry["runid"] for entry in lines] == ["run_a", "run_b"]
+    # The ledger reader accepts v1 records; the writer stamps the
+    # current schema (bumped to /2 when incident payloads landed).
     assert all(
-        entry["schema"] == "repro-ledger/1" for entry in lines
+        entry["schema"] == "repro-ledger/2" for entry in lines
     )
 
 

@@ -162,6 +162,16 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
             "layer's own cost accumulates a trajectory"
         ),
     )
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help=(
+            "additionally run the always-on service workload at the "
+            "same scale and record totals.service_p50_ms / "
+            "totals.service_p99_ms / totals.tweets_per_sec in the "
+            "ledger (see repro.service.bench)"
+        ),
+    )
     return parser.parse_args(argv)
 
 
@@ -231,6 +241,24 @@ def main(argv: list[str] | None = None) -> int:
     path = current.save(args.out_dir)
     print(f"benchmark artifact: {path}")
 
+    # The service workload resets the observability layer, so it must
+    # run only after the batch report above has been captured.
+    service_totals: dict | None = None
+    if args.service:
+        from repro.service.bench import run_service_bench
+
+        service_totals = run_service_bench(
+            args.scale, seed=args.seed, workers=args.workers
+        )
+        print(
+            "service: "
+            f"p50 {service_totals['service_p50_ms']}ms / "
+            f"p99 {service_totals['service_p99_ms']}ms, "
+            f"{service_totals['tweets_per_sec']:.0f} tweets/s "
+            f"({service_totals['service_scored']} scored in "
+            f"{service_totals['service_batches']} batches)"
+        )
+
     # The ledger trajectory accumulates even when gating is skipped:
     # history is what makes future medians trustworthy.  Baseline
     # records are read BEFORE appending so this run never gates
@@ -249,6 +277,8 @@ def main(argv: list[str] | None = None) -> int:
             if _comparable(record, current)
         ]
         record = RunRecord.from_bench(current)
+        if service_totals is not None:
+            record.totals.update(service_totals)
         # Peak RSS of the whole run (ru_maxrss is monotonic): the
         # scale workloads exist to track memory as much as wall time.
         record.totals["max_rss_kb"] = resources.sample().max_rss_kb

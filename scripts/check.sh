@@ -81,6 +81,55 @@ print(
 )
 EOF
 
+echo "== service soak (always-on sniffer under faults) =="
+# The chaos soak, lane-sized: random fault plans against the always-on
+# service, each run audited against the firehose ground truth
+#
+#     scored + dropped + lost + in_flight == ground truth
+#
+# with every executed fault kind surfaced as its health alert.  Full
+# mode sweeps 2 plans per seed; --fast runs a 1-plan smoke.  The soak
+# log lands in results/service_soak.jsonl (gitignored; CI uploads it
+# as an artifact next to the run logs).
+SOAK_PLANS=2
+[[ "$fast" == "1" ]] && SOAK_PLANS=1
+SOAK_PLANS="$SOAK_PLANS" PYTHONPATH=src python - <<'EOF'
+import json
+import os
+from pathlib import Path
+
+from repro.faults import FaultPlan
+from repro.service.soak import run_service_soak
+
+plans = int(os.environ["SOAK_PLANS"])
+log_path = Path("results/service_soak.jsonl")
+outcomes = []
+for seed in (7, 23):
+    for variant in range(plans):
+        plan = FaultPlan.random_plan(
+            seed * 1000 + variant, start_hour=2, n_hours=5, intensity=1.5
+        )
+        outcome = run_service_soak(seed, plan, hours=5)
+        outcomes.append(outcome)
+        assert outcome.reconciled, (
+            f"soak seed {seed} plan {variant} does not reconcile: "
+            f"{outcome.to_dict()}"
+        )
+        fired = set(outcome.alerts_fired)
+        for kind in outcome.injected_kinds:
+            assert f"faults.{kind}" in fired, (
+                f"soak seed {seed}: injected {kind} without an alert"
+            )
+with log_path.open("w", encoding="utf-8") as fh:
+    for outcome in outcomes:
+        fh.write(json.dumps(outcome.to_dict(), sort_keys=True) + "\n")
+total = sum(o.scored for o in outcomes)
+print(
+    f"service soak OK ({len(outcomes)} runs reconciled, "
+    f"{total} tweets scored) -> {log_path}"
+)
+EOF
+
 echo "== scale smoke (10k-account sharded world) =="
 # The columnar data plane and the sharded hour loop at a size big
 # enough to exercise the array paths yet seconds-fast: build a

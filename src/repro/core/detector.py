@@ -71,6 +71,27 @@ class PseudoHoneypotDetector:
         self.environment = environment or EnvironmentScoreTracker()
         self._fitted = False
 
+    @property
+    def fitted(self) -> bool:
+        """Whether the detector is ready to classify."""
+        return self._fitted
+
+    @classmethod
+    def from_fitted_classifier(
+        cls,
+        classifier: Classifier,
+        environment: EnvironmentScoreTracker | None = None,
+    ) -> "PseudoHoneypotDetector":
+        """Wrap an already-fitted classifier, ready to classify.
+
+        The service/soak harnesses fit classifiers outside the
+        capture-labeling flow (e.g. on synthetic matrices) and only
+        need the extraction + feedback plumbing around them.
+        """
+        detector = cls(classifier=classifier, environment=environment)
+        detector._fitted = True
+        return detector
+
     # ------------------------------------------------------------------
 
     def extract_features(

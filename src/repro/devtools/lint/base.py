@@ -27,7 +27,7 @@ from .findings import Finding
 #: directory component with one of these names puts a file in scope for
 #: the determinism rules (so test fixtures can opt in by layout).
 DETERMINISTIC_PACKAGES = frozenset(
-    {"twittersim", "core", "features", "labeling", "ml", "faults"}
+    {"twittersim", "core", "features", "labeling", "ml", "faults", "service"}
 )
 
 

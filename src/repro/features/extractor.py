@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..obs import get_registry
+from ..service.cache import LRUCache
 from ..twittersim.entities import Tweet, UserProfile
 from .behavior import BehaviorTracker
 from .content import (
@@ -46,6 +47,9 @@ class FeatureExtractor:
         dedup_window_s: how long a normalized text stays "seen" for the
             is-repeated feature (paper uses a 1-day window for content
             duplication checks).
+        profile_cache_cap: LRU entry cap for the profile-feature memo
+            (None = :attr:`PROFILE_CACHE_CAP`); the service layer
+            shrinks it in cache-thrash tests.
     """
 
     def __init__(
@@ -53,6 +57,7 @@ class FeatureExtractor:
         honeypot_ids: set[int] | None = None,
         environment: EnvironmentScoreTracker | None = None,
         dedup_window_s: float = 86_400.0,
+        profile_cache_cap: int | None = None,
     ) -> None:
         self.honeypot_ids = honeypot_ids or set()
         self.environment = environment or EnvironmentScoreTracker()
@@ -66,11 +71,18 @@ class FeatureExtractor:
         # are refreshed per extraction, keeping hits bitwise-identical
         # to a full recompute.  Snapshots repeat heavily — a receiver's
         # cached profile serves every mention until it posts again.
-        self._pf_cache: dict[UserProfile, np.ndarray] = {}
+        # LRU eviction (vs the old clear-on-full dict) keeps the hot
+        # working set resident under long always-on streams; eviction
+        # policy can never change a feature value, only hit rates.
+        self._pf_cache = LRUCache(
+            profile_cache_cap
+            if profile_cache_cap is not None
+            else self.PROFILE_CACHE_CAP
+        )
         # Text-derived values (normalized dedup form, emoji/digit
         # counts) are pure functions of the text, and campaign blasts
         # repeat texts heavily — memoize per distinct string.
-        self._text_stats: dict[str, tuple[str, int, int]] = {}
+        self._text_stats = LRUCache(self.TEXT_STATS_CAP)
         registry = get_registry()
         self._m_pf_hits = registry.counter("features.profile_cache.hits")
         self._m_pf_misses = registry.counter("features.profile_cache.misses")
@@ -124,14 +136,12 @@ class FeatureExtractor:
         text = tweet.text
         stats = self._text_stats.get(text)
         if stats is None:
-            if len(self._text_stats) >= self.TEXT_STATS_CAP:
-                self._text_stats.clear()
             stats = (
                 normalize_text_for_dedup(text),
                 count_emoji(text),
                 count_digits(text),
             )
-            self._text_stats[text] = stats
+            self._text_stats.put(text, stats)
         normalized, n_emoji, n_digits = stats
         last_seen = self._text_last_seen.get(normalized)
         repeated = (
@@ -232,6 +242,16 @@ class FeatureExtractor:
             rows[i] = self.extract(tweet, attrs)
         return rows
 
+    @property
+    def profile_cache_hits(self) -> int:
+        """Profile-feature memo hits since construction."""
+        return self._pf_cache.hits
+
+    @property
+    def profile_cache_misses(self) -> int:
+        """Profile-feature memo misses since construction."""
+        return self._pf_cache.misses
+
     def _profile_features_cached(
         self, profile: UserProfile, now: float
     ) -> np.ndarray:
@@ -239,10 +259,8 @@ class FeatureExtractor:
         base = self._pf_cache.get(profile)
         if base is None:
             self._m_pf_misses.inc()
-            if len(self._pf_cache) >= self.PROFILE_CACHE_CAP:
-                self._pf_cache.clear()
             fresh = profile_features(profile, now)
-            self._pf_cache[profile] = fresh
+            self._pf_cache.put(profile, fresh)
             return fresh
         self._m_pf_hits.inc()
         return refresh_age_slots(base, profile, now)

@@ -8,6 +8,7 @@ with no scikit-learn dependency.
 
 from .base import Classifier, NotFittedError, check_X, check_X_y
 from .boosting import GradientBoostingClassifier
+from .compiled import CompiledForest, compile_forest
 from .dummy import MajorityClassifier
 from .forest import RandomForestClassifier
 from .knn import KNeighborsClassifier
@@ -35,6 +36,7 @@ from .tree import DecisionTreeClassifier, DecisionTreeRegressor, quantile_bin
 __all__ = [
     "Classifier",
     "ClassificationReport",
+    "CompiledForest",
     "CrossValidationResult",
     "DecisionTreeClassifier",
     "DecisionTreeRegressor",
@@ -52,6 +54,7 @@ __all__ = [
     "check_X",
     "check_X_y",
     "classification_report",
+    "compile_forest",
     "confusion_matrix",
     "cross_validate",
     "f1_score",

@@ -30,6 +30,7 @@ NAMESPACES = (
     "dashboard",
     "alert",
     "health",
+    "service",
 )
 TAXONOMY_RE = re.compile(
     r"^(?:%s)\.[a-z0-9_]+(?:\.[a-z0-9_]+)*$" % "|".join(NAMESPACES)

@@ -1,0 +1,87 @@
+"""Service-mode bench workload: scoring latency and throughput.
+
+Runs the real pipeline front half (warm-up → collect → label → train)
+at a preset scale, then replays the attribute sweep's captures through
+the always-on service loop — queue, scheduler, incremental extraction,
+compiled-forest batches — and distills p50/p99 batch-scoring latency
+and tweets/sec.  ``scripts/bench.py --service`` records the numbers as
+``totals.service_p99_ms`` / ``totals.tweets_per_sec`` in the run
+ledger, so service performance accumulates a trajectory next to the
+batch phases.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from ..analysis.bench import workload_scale
+from ..core.experiment import PseudoHoneypotExperiment
+from ..obs import reset, set_enabled
+from .sniffer import SnifferService
+
+log = logging.getLogger("repro.service.bench")
+
+
+def run_service_bench(
+    scale_name: str = "micro",
+    seed: int = 7,
+    workers: int | None = None,
+    batch_size: int = 256,
+    queue_capacity: int = 65_536,
+) -> dict[str, float | int]:
+    """Measure the service loop at a preset workload scale.
+
+    Resets the observability layer (it owns the process telemetry,
+    like :func:`repro.analysis.bench.run_bench_workload` — run it
+    *after* capturing any report you care about), trains the real
+    detector on the scale's ground truth, and replays the main sweep's
+    captures through a fresh service.  The queue is sized to the
+    workload so the measurement is pure scoring throughput, not drop
+    accounting.
+
+    Raises:
+        KeyError: unknown workload name.
+    """
+    scale = workload_scale(scale_name, seed=seed)
+    reset()
+    set_enabled(True)
+    log.info(
+        "service bench %s (seed %d) starting", scale.name, seed
+    )
+    experiment = PseudoHoneypotExperiment(
+        scale.sim, candidate_pool=scale.candidate_pool, workers=workers
+    )
+    experiment.warm_up(scale.warmup_hours)
+    collection = experiment.collect_ground_truth(
+        hours=scale.gt_hours,
+        n_targets=scale.gt_targets,
+        per_value=scale.gt_per_value,
+    )
+    dataset = experiment.label_ground_truth(collection)
+    detector = experiment.train_detector(collection, dataset)
+    sweep = experiment.run_full_network(
+        hours=scale.main_hours, per_value=scale.main_per_value
+    )
+    service = SnifferService(
+        detector,
+        batch_size=batch_size,
+        queue_capacity=queue_capacity,
+    )
+    stats = service.replay(sweep.captures)
+    log.info(
+        "service bench %s done: %d scored in %d batches, p99 %.2fms",
+        scale.name,
+        stats.scored,
+        stats.batches,
+        stats.p99_ms,
+    )
+    return {
+        "service_p50_ms": round(stats.p50_ms, 3),
+        "service_p99_ms": round(stats.p99_ms, 3),
+        "tweets_per_sec": round(stats.tweets_per_sec, 1),
+        "service_scored": stats.scored,
+        "service_batches": stats.batches,
+    }
+
+
+__all__ = ["run_service_bench"]

@@ -1,0 +1,75 @@
+"""Bounded FIFO ingestion queue with explicit overflow accounting.
+
+Backpressure in the service is *visible*, never silent: an offer
+against a full queue is refused (the caller records the drop), and the
+four counters reconcile at every instant::
+
+    offered == accepted + rejected
+    accepted == drained + depth
+
+``tests/service/test_queue.py`` asserts both invariants under random
+seeded offer/drain interleavings, plus the bound itself (depth never
+exceeds the declared capacity, and rejections happen *only* at
+capacity).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class BoundedQueue(Generic[T]):
+    """FIFO with a hard capacity and reconciling counters."""
+
+    __slots__ = ("capacity", "offered", "accepted", "rejected", "drained", "_items")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.offered = 0
+        self.accepted = 0
+        self.rejected = 0
+        self.drained = 0
+        self._items: deque[T] = deque()
+
+    def offer(self, item: T) -> bool:
+        """Enqueue ``item`` unless full; False means it was refused."""
+        self.offered += 1
+        if len(self._items) >= self.capacity:
+            self.rejected += 1
+            return False
+        self._items.append(item)
+        self.accepted += 1
+        return True
+
+    def take(self, n: int) -> list[T]:
+        """Dequeue up to ``n`` items in FIFO order."""
+        items = self._items
+        batch: list[T] = []
+        while items and len(batch) < n:
+            batch.append(items.popleft())
+        self.drained += len(batch)
+        return batch
+
+    @property
+    def depth(self) -> int:
+        """Items currently queued (the in-flight count)."""
+        return len(self._items)
+
+    @property
+    def reconciled(self) -> bool:
+        """Whether the accounting identities hold right now."""
+        return (
+            self.offered == self.accepted + self.rejected
+            and self.accepted == self.drained + len(self._items)
+        )
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+__all__ = ["BoundedQueue"]

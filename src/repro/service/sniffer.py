@@ -1,0 +1,410 @@
+"""The always-on sniffer service: async ingestion + online scoring.
+
+Turns the batch pipeline (select → monitor → label → train →
+classify) into a long-running deployment shape: captured tweets flow
+through a bounded ingestion queue on a virtual-clock scheduler,
+features are extracted incrementally per tweet against the shared
+LRU profile-feature cache, and batches are scored through the
+compiled-forest inference path, feeding confirmed spams back into the
+environment-score tracker exactly as live collection would.
+
+Semantics contract with the batch path: a zero-fault service run over
+a fixed capture set, with ``batch_size`` equal to ``classify``'s
+``chunk_size`` and the flush deadline out of reach, produces verdicts
+**bitwise-identical** to :meth:`PseudoHoneypotDetector.classify` —
+same ordering, same chunk boundaries for the environment-score
+feedback, same compiled forest.  ``tests/service/test_service.py``
+pins this, including at every worker count.
+
+Determinism: the loop never consults wall time for control flow.
+``time.perf_counter()`` appears only on the measurement path (latency
+histograms / throughput), which the determinism lint explicitly
+allows; drop order, batch boundaries, and all emitted events are pure
+functions of the seeded capture stream.
+
+All ``service.*`` metrics are registered lazily in the constructor —
+a process that never builds a service never grows a service
+instrument, keeping ``results/obs_smoke.json`` byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.detector import PseudoHoneypotDetector
+from ..core.monitor import CapturedTweet
+from ..core.network import PseudoHoneypotNetwork
+from ..features.extractor import FeatureExtractor
+from ..features.schema import N_FEATURES
+from ..obs import emit, get_registry
+from .queues import BoundedQueue
+from .scheduler import EventScheduler
+
+#: Default ingestion-queue capacity (tweets).
+DEFAULT_QUEUE_CAPACITY = 4_096
+
+#: Default scoring batch: the compiled forest's dispatch-overhead win
+#: is largest at a few hundred rows, and a batch stays latency-bounded.
+DEFAULT_BATCH_SIZE = 256
+
+#: Default flush deadline (simulated seconds): a partial batch never
+#: waits longer than this for stragglers.
+DEFAULT_FLUSH_INTERVAL_S = 900.0
+
+
+def _nearest_rank(values: list[float], q: float) -> float:
+    """Nearest-rank percentile, mirroring obs.Histogram semantics."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered), max(1, math.ceil(q / 100.0 * len(ordered))))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class ScoredTweet:
+    """One online verdict, in scoring order."""
+
+    tweet_id: int
+    sender_id: int
+    hour: int
+    spam_probability: float
+    is_spam: bool
+    backfilled: bool
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Snapshot of one service's accounting and latency profile.
+
+    The ingestion identity ``ingested == scored + dropped + in_flight``
+    holds at every instant; after :meth:`SnifferService.drain`,
+    ``in_flight`` is zero.
+    """
+
+    ingested: int
+    scored: int
+    dropped: int
+    in_flight: int
+    batches: int
+    spams: int
+    cache_hits: int
+    cache_misses: int
+    p50_ms: float
+    p99_ms: float
+    tweets_per_sec: float
+
+
+class SnifferService:
+    """Always-on detection loop over a monitored capture stream.
+
+    Args:
+        detector: a fitted :class:`PseudoHoneypotDetector`; its
+            environment tracker receives the online spam feedback.
+        queue_capacity: ingestion bound — arrivals beyond it are
+            dropped with a ``service.overflow`` event (explicit
+            backpressure, never silent loss).
+        batch_size: tweets scored per inference call.
+        flush_interval_s: virtual-clock deadline for partial batches.
+        profile_cache_cap: LRU entry cap for the extractor's
+            profile-feature memo (None = extractor default).
+        keep_features: retain every scored feature row for
+            batch-vs-service equality tests (memory-heavy; tests only).
+
+    Raises:
+        RuntimeError: if the detector was never fitted.
+        ValueError: on a non-positive capacity, batch size, or flush
+            interval.
+    """
+
+    def __init__(
+        self,
+        detector: PseudoHoneypotDetector,
+        *,
+        queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        flush_interval_s: float = DEFAULT_FLUSH_INTERVAL_S,
+        profile_cache_cap: int | None = None,
+        keep_features: bool = False,
+    ) -> None:
+        if not detector.fitted:
+            raise RuntimeError(
+                "detector must be fit before serving; train it or use "
+                "PseudoHoneypotDetector.from_fitted_classifier"
+            )
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if flush_interval_s <= 0:
+            raise ValueError(
+                f"flush_interval_s must be > 0, got {flush_interval_s}"
+            )
+        self.detector = detector
+        self.batch_size = batch_size
+        self.flush_interval_s = float(flush_interval_s)
+        self.extractor = FeatureExtractor(
+            environment=detector.environment,
+            profile_cache_cap=profile_cache_cap,
+        )
+        self.scheduler = EventScheduler()
+        self.queue: BoundedQueue[CapturedTweet] = BoundedQueue(
+            queue_capacity
+        )
+        #: Verdicts in scoring order.
+        self.results: list[ScoredTweet] = []
+        #: Senders of at least one confirmed spam.
+        self.spammer_ids: set[int] = set()
+        self.ingested = 0
+        self.dropped = 0
+        self.scored = 0
+        self.batches = 0
+        self._cursor = 0
+        self._flush_scheduled = False
+        self._deadline_scheduled = False
+        self._score_wall_s = 0.0
+        self._latencies_ms: list[float] = []
+        self._feature_rows: list[np.ndarray] | None = (
+            [] if keep_features else None
+        )
+        # Lazily registered here — never at import time — so runs
+        # without a service keep a byte-identical metrics snapshot.
+        registry = get_registry()
+        self._m_ingested = registry.counter("service.ingested")
+        self._m_dropped = registry.counter("service.dropped")
+        self._m_scored = registry.counter("service.scored")
+        self._m_batches = registry.counter("service.batches")
+        self._m_spams = registry.counter("service.spam_flagged")
+        self._m_depth = registry.gauge("service.queue_depth")
+        self._m_latency = registry.histogram("service.score_latency_ms")
+
+    # -- ingestion ---------------------------------------------------------
+
+    def ingest(self, capture: CapturedTweet) -> None:
+        """Schedule one capture's arrival on the virtual clock.
+
+        Arrivals land at the tweet's creation time, clamped forward to
+        *now* for late deliveries (reconnect backfills).
+        """
+        self.scheduler.schedule(
+            capture.tweet.created_at,
+            "service.arrival",
+            lambda: self._arrive(capture),
+        )
+
+    def _arrive(self, capture: CapturedTweet) -> None:
+        self.ingested += 1
+        self._m_ingested.inc()
+        if not self.queue.offer(capture):
+            self.dropped += 1
+            self._m_dropped.inc()
+            emit(
+                "service.overflow",
+                hour=capture.hour,
+                tweet_id=capture.tweet.tweet_id,
+                depth=self.queue.depth,
+            )
+            return
+        self._m_depth.set(self.queue.depth)
+        self._schedule_scoring()
+
+    def _schedule_scoring(self) -> None:
+        """Keep exactly one flush path armed for the queued work."""
+        if self.queue.depth >= self.batch_size:
+            if not self._flush_scheduled:
+                self._flush_scheduled = True
+                self.scheduler.schedule(
+                    self.scheduler.now, "service.flush", self._flush_full
+                )
+        elif self.queue.depth and not self._deadline_scheduled:
+            self._deadline_scheduled = True
+            self.scheduler.schedule(
+                self.scheduler.now + self.flush_interval_s,
+                "service.flush_deadline",
+                self._flush_deadline,
+            )
+
+    def _flush_full(self) -> None:
+        self._flush_scheduled = False
+        self._flush()
+
+    def _flush_deadline(self) -> None:
+        self._deadline_scheduled = False
+        if self.queue.depth:
+            self._flush()
+
+    # -- scoring -----------------------------------------------------------
+
+    def _flush(self) -> None:
+        batch = self.queue.take(self.batch_size)
+        if not batch:
+            return
+        start = time.perf_counter()
+        X = np.empty((len(batch), N_FEATURES))
+        for i, capture in enumerate(batch):
+            self.extractor.set_honeypot_ids(set(capture.node_user_ids))
+            X[i] = self.extractor.extract(
+                capture.tweet, capture.attribute_keys
+            )
+        proba = np.asarray(self.detector.classifier.predict_proba(X))[:, 1]
+        elapsed = time.perf_counter() - start
+        n_spams = 0
+        for capture, p in zip(batch, proba):
+            spam = bool(p >= 0.5)
+            self.results.append(
+                ScoredTweet(
+                    tweet_id=capture.tweet.tweet_id,
+                    sender_id=capture.sender_id,
+                    hour=capture.hour,
+                    spam_probability=float(p),
+                    is_spam=spam,
+                    backfilled=capture.backfilled,
+                )
+            )
+            if spam:
+                n_spams += 1
+                self.spammer_ids.add(capture.sender_id)
+                # The online feedback loop: confirmed spams raise the
+                # group likelihood of the capturing attributes before
+                # the next batch extracts — same cadence as classify().
+                self.detector.environment.record_spam(
+                    capture.attribute_keys
+                )
+        self.scored += len(batch)
+        self.batches += 1
+        self._m_scored.inc(len(batch))
+        self._m_batches.inc()
+        if n_spams:
+            self._m_spams.inc(n_spams)
+        self._m_depth.set(self.queue.depth)
+        self._score_wall_s += elapsed
+        self._latencies_ms.append(elapsed * 1000.0)
+        self._m_latency.observe(elapsed * 1000.0)
+        if self._feature_rows is not None:
+            self._feature_rows.append(X)
+        emit(
+            "service.batch_scored",
+            n=len(batch),
+            spams=n_spams,
+            queue_depth=self.queue.depth,
+            hour=batch[-1].hour,
+        )
+        self._schedule_scoring()
+
+    # -- run loops ---------------------------------------------------------
+
+    def poll(self, network: PseudoHoneypotNetwork) -> int:
+        """Ingest captures the monitor gained since the last poll.
+
+        Advances the virtual clock to the platform clock, so every
+        arrival due by now is scored or queued.  Returns how many new
+        captures were ingested.
+        """
+        captured = network.monitor.captured
+        fresh = captured[self._cursor :]
+        self._cursor = len(captured)
+        for capture in fresh:
+            self.ingest(capture)
+        self.scheduler.run_until(network.engine.clock.now)
+        return len(fresh)
+
+    def run_network(
+        self, network: PseudoHoneypotNetwork, hours: int
+    ) -> ServiceStats:
+        """Drive a deployed network for ``hours``, scoring online.
+
+        Each platform hour runs under monitoring, then the service
+        ingests the hour's captures and scores every due batch.  At
+        the end the network shuts down (draining broken streams — the
+        backfill lands here) and the service drains its own queue.
+
+        Raises:
+            RuntimeError: if the network was never deployed.
+        """
+        if not network.deployed:
+            raise RuntimeError("deploy() the network before serving it")
+        for __ in range(hours):
+            network.run_hour()
+            self.poll(network)
+        network.shutdown()
+        self.poll(network)
+        self.drain()
+        return self.stats()
+
+    def replay(self, captures: list[CapturedTweet]) -> ServiceStats:
+        """Score a fixed capture set through the full service loop.
+
+        Orders captures exactly as the batch path does (same argsort),
+        schedules each arrival at its creation time, and drains — the
+        offline entry point the parity tests and the bench workload
+        share.
+        """
+        order = np.argsort([c.tweet.created_at for c in captures])
+        for i in order:
+            self.ingest(captures[i])
+        self.scheduler.run_all()
+        self.drain()
+        return self.stats()
+
+    def drain(self) -> None:
+        """Run every pending event, then flush until the queue is empty."""
+        self.scheduler.run_all()
+        while self.queue.depth:
+            self._flush()
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Accepted but not yet scored (current queue depth)."""
+        return self.queue.depth
+
+    def stats(self) -> ServiceStats:
+        """Current accounting + latency snapshot for this service."""
+        return ServiceStats(
+            ingested=self.ingested,
+            scored=self.scored,
+            dropped=self.dropped,
+            in_flight=self.in_flight,
+            batches=self.batches,
+            spams=len(
+                [r for r in self.results if r.is_spam]
+            ),
+            cache_hits=self.extractor.profile_cache_hits,
+            cache_misses=self.extractor.profile_cache_misses,
+            p50_ms=_nearest_rank(self._latencies_ms, 50),
+            p99_ms=_nearest_rank(self._latencies_ms, 99),
+            tweets_per_sec=(
+                self.scored / self._score_wall_s
+                if self._score_wall_s > 0
+                else 0.0
+            ),
+        )
+
+    def feature_matrix(self) -> np.ndarray:
+        """Every scored feature row (requires ``keep_features=True``).
+
+        Raises:
+            RuntimeError: if the service was not built with
+                ``keep_features=True``.
+        """
+        if self._feature_rows is None:
+            raise RuntimeError(
+                "construct SnifferService(keep_features=True) to "
+                "retain feature rows"
+            )
+        if not self._feature_rows:
+            return np.empty((0, N_FEATURES))
+        return np.vstack(self._feature_rows)
+
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_FLUSH_INTERVAL_S",
+    "DEFAULT_QUEUE_CAPACITY",
+    "ScoredTweet",
+    "ServiceStats",
+    "SnifferService",
+]

@@ -1,0 +1,58 @@
+"""Shared fixtures for the service suite: one monitored capture set.
+
+Building a monitored world is the expensive part of every parity test,
+so one session-scoped run provides the captures; tests treat them as
+read-only input and build their own detectors/services around them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.network import PseudoHoneypotNetwork
+from repro.core.portability import ActivityPolicy
+from repro.core.selection import AttributeSelector, SelectionPlan
+from repro.obs import reset, set_enabled
+from repro.twittersim.api.rest import RestClient
+from repro.twittersim.config import SimulationConfig
+from repro.twittersim.engine import TwitterEngine
+from repro.twittersim.population import build_population
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    reset()
+    set_enabled(True)
+    yield
+    reset()
+
+
+@pytest.fixture(scope="session")
+def capture_stream():
+    """Captures of one clean 4-hour monitored run (read-only)."""
+    reset()
+    set_enabled(True)
+    config = SimulationConfig.small(seed=5)
+    population = build_population(config)
+    engine = TwitterEngine(population)
+    engine.run_hours(2)
+    rest = RestClient(engine)
+    selector = AttributeSelector(
+        rest,
+        candidate_pool=400,
+        activity=ActivityPolicy(window_hours=6.0),
+        seed=5,
+    )
+    network = PseudoHoneypotNetwork(
+        engine,
+        selector,
+        SelectionPlan.random_plan(4, 3, seed=22),
+        switch_every_hours=1,
+    )
+    network.deploy()
+    network.run_hours(4)
+    network.shutdown()
+    captures = list(network.monitor.captured)
+    reset()
+    assert captures, "fixture world produced no captures"
+    return captures

@@ -1,0 +1,108 @@
+"""EventScheduler determinism: ordering, clamping, byte-identical logs.
+
+The virtual-clock loop is the service's substitute for threads; its
+whole value is that two runs scheduling the same work execute it in
+the same order and leave byte-identical traces.  These tests pin the
+tie-break (insertion sequence), the past-clamp, clock monotonicity,
+and the ``log_bytes`` witness itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.service.scheduler import EventScheduler
+
+
+def test_runs_in_time_order():
+    sched = EventScheduler()
+    ran: list[str] = []
+    sched.schedule(5.0, "b", lambda: ran.append("b"))
+    sched.schedule(1.0, "a", lambda: ran.append("a"))
+    sched.schedule(9.0, "c", lambda: ran.append("c"))
+    sched.run_all()
+    assert ran == ["a", "b", "c"]
+
+
+def test_ties_break_by_scheduling_order():
+    sched = EventScheduler()
+    ran: list[int] = []
+    for i in range(50):
+        sched.schedule(3.0, f"e{i}", lambda i=i: ran.append(i))
+    sched.run_all()
+    assert ran == list(range(50))
+
+
+def test_past_scheduling_clamps_to_now():
+    sched = EventScheduler()
+    sched.run_until(10.0)
+    ran: list[float] = []
+    sched.schedule(2.0, "late", lambda: ran.append(sched.now))
+    sched.run_until(10.0)
+    assert ran == [10.0]
+    assert sched.now == 10.0
+
+
+def test_clock_is_monotonic():
+    sched = EventScheduler()
+    seen: list[float] = []
+    sched.schedule(1.0, "a", lambda: seen.append(sched.now))
+    sched.schedule(4.0, "b", lambda: seen.append(sched.now))
+    sched.run_until(2.0)
+    assert sched.now == 2.0
+    sched.run_until(1.5)  # going backwards is a no-op
+    assert sched.now == 2.0
+    sched.run_all()
+    assert seen == [1.0, 4.0]
+
+
+def test_callbacks_can_schedule_within_same_run():
+    sched = EventScheduler()
+    ran: list[str] = []
+
+    def outer():
+        ran.append("outer")
+        sched.schedule(sched.now, "inner", lambda: ran.append("inner"))
+
+    sched.schedule(1.0, "outer", outer)
+    sched.run_until(1.0)
+    assert ran == ["outer", "inner"]
+
+
+def test_run_until_returns_executed_count():
+    sched = EventScheduler()
+    for t in (1.0, 2.0, 3.0):
+        sched.schedule(t, "e", lambda: None)
+    assert sched.run_until(2.5) == 2
+    assert sched.pending == 1
+
+
+def _random_schedule(seed: int) -> bytes:
+    """One seeded burst of scheduling work; returns the event trace."""
+    rng = np.random.default_rng(seed)
+    sched = EventScheduler()
+    for i in range(300):
+        at = float(rng.uniform(0.0, 100.0))
+        sched.schedule(at, f"event.{i % 7}", lambda: None)
+    # Drain in seeded increments so run_until boundaries are exercised.
+    t = 0.0
+    while sched.pending:
+        t += float(rng.uniform(1.0, 30.0))
+        sched.run_until(t)
+    return sched.log_bytes()
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_log(self):
+        assert _random_schedule(97) == _random_schedule(97)
+
+    def test_different_seed_different_log(self):
+        assert _random_schedule(97) != _random_schedule(98)
+
+    def test_log_records_every_execution(self):
+        sched = EventScheduler()
+        sched.schedule(1.0, "a", lambda: None)
+        sched.schedule(1.0, "b", lambda: None)
+        sched.run_all()
+        assert [name for __, __, name in sched.log] == ["a", "b"]
+        assert sched.log_bytes() == b"1.000000 0 a\n1.000000 1 b"
